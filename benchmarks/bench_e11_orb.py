@@ -1,0 +1,183 @@
+"""E11 — ORB microbenchmarks.
+
+Section 5: the prototype used UIC-CORBA, "a very small memory footprint
+CORBA-compatible implementation", so client machines pay almost nothing
+for the middleware.  These are the classic ORB numbers for our Python
+substitute: marshalling throughput, invocation round-trip latency
+in-process and over real TCP sockets, and the wire size of each
+protocol message — the costs every other experiment builds on.
+"""
+
+import pytest
+
+from repro.analysis.metrics import Table
+from repro.core.protocols import (
+    CLUSTER_SUMMARY,
+    LRM_INTERFACE,
+    NODE_STATUS,
+    RESERVATION_REQUEST,
+    TASK_LAUNCH,
+)
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+from repro.orb.core import Orb
+from repro.orb.transport import InProcDomain
+
+from conftest import save_result
+
+SAMPLE_STATUS = {
+    "node": "node042", "time": 123456.789, "mips": 1000.0,
+    "ram_mb": 256.0, "disk_mb": 10_000.0, "os": "linux", "arch": "x86",
+    "cpu_free": 0.85, "mem_free_mb": 180.0, "disk_free_mb": 9_000.0,
+    "net_mbps": 100.0, "net_free_mbps": 97.5,
+    "owner_active": False, "sharing": True, "grid_tasks": 2,
+}
+
+SAMPLE_RESERVATION = {
+    "task_id": "cluster0-job17.3", "cpu_fraction": 1.0, "mem_mb": 64.0,
+    "disk_mb": 0.0, "lease_seconds": 120.0,
+}
+
+SAMPLE_LAUNCH = {
+    "task_id": "cluster0-job17.3", "job_id": "cluster0-job17",
+    "work_mips": 3.6e6, "initial_progress_mips": 0.0,
+    "checkpoint_interval_s": 600.0, "payload": "",
+}
+
+SAMPLE_SUMMARY = {
+    "cluster": "cluster0", "time": 123456.789, "nodes": 100,
+    "sharing_nodes": 73, "free_cpu_total": 61.5,
+    "free_mem_total_mb": 11_000.0, "max_node_mips": 3000.0,
+    "pending_tasks": 4,
+}
+
+
+class EchoLrm:
+    """A minimal LRM servant for round-trip measurements."""
+
+    def ping(self):
+        return True
+
+    def get_status(self):
+        return SAMPLE_STATUS
+
+    def request_reservation(self, request):
+        return {"accepted": True, "reason": "ok"}
+
+    def cancel_reservation(self, task_id):
+        pass
+
+    def start_task(self, launch):
+        return True
+
+    def stop_task(self, task_id):
+        return 0.0
+
+    def set_work_limit(self, task_id, limit):
+        pass
+
+    def get_progress(self, task_id):
+        return 0.0
+
+    def rollback_task(self, task_id, progress):
+        pass
+
+
+def encode_status():
+    enc = CdrEncoder()
+    NODE_STATUS.encode(enc, SAMPLE_STATUS)
+    return enc.getvalue()
+
+
+def message_size_table():
+    table = Table(
+        ["protocol message", "CDR bytes"],
+        title="E11: wire sizes of the protocol messages",
+    )
+    for name, idl_type, sample in (
+        ("NodeStatus (Information Update)", NODE_STATUS, SAMPLE_STATUS),
+        ("ReservationRequest", RESERVATION_REQUEST, SAMPLE_RESERVATION),
+        ("TaskLaunch", TASK_LAUNCH, SAMPLE_LAUNCH),
+        ("ClusterSummary (hierarchy)", CLUSTER_SUMMARY, SAMPLE_SUMMARY),
+    ):
+        enc = CdrEncoder()
+        idl_type.encode(enc, sample)
+        table.add_row(name, len(enc.getvalue()))
+    return table
+
+
+def test_e11_message_sizes(benchmark):
+    table = benchmark(message_size_table)
+    save_result("e11_orb_message_sizes", table.render())
+    sizes = {row[0]: int(row[1]) for row in table.rows}
+    # All protocol messages fit comfortably in a single ethernet frame.
+    assert all(size < 256 for size in sizes.values())
+
+
+def test_e11_marshal_node_status(benchmark):
+    data = benchmark(encode_status)
+    assert len(data) > 0
+
+
+def test_e11_unmarshal_node_status(benchmark):
+    data = encode_status()
+    result = benchmark(lambda: NODE_STATUS.decode(CdrDecoder(data)))
+    assert result["node"] == "node042"
+
+
+def test_e11_inproc_roundtrip(benchmark):
+    domain = InProcDomain()
+    server = Orb("server", domain=domain)
+    client = Orb("client", domain=domain)
+    try:
+        ref = server.activate(EchoLrm(), LRM_INTERFACE)
+        stub = client.stub(ref, LRM_INTERFACE)
+        assert benchmark(stub.get_status)["node"] == "node042"
+    finally:
+        server.shutdown()
+        client.shutdown()
+
+
+def test_e11_tcp_roundtrip(benchmark):
+    server = Orb("tcp-server", domain=InProcDomain(), tcp=True)
+    client = Orb("tcp-client", domain=InProcDomain(), tcp=True)
+    try:
+        ref = server.activate(EchoLrm(), LRM_INTERFACE)
+        stub = client.stub(ref, LRM_INTERFACE)
+        stub.ping()   # establish the connection outside the timing loop
+        assert benchmark(stub.get_status)["node"] == "node042"
+    finally:
+        server.shutdown()
+        client.shutdown()
+
+
+def test_e11_authenticated_roundtrip(benchmark):
+    """The cost of HMAC request authentication on top of a call."""
+    from repro.security.auth import Credentials, KeyRing
+
+    ring = KeyRing()
+    ring.add("grm", b"cluster-secret")
+    domain = InProcDomain()
+    server = Orb("auth-server", domain=domain, keyring=ring,
+                 require_auth=True)
+    client = Orb("auth-client", domain=domain,
+                 credentials=Credentials("grm", b"cluster-secret"))
+    try:
+        ref = server.activate(EchoLrm(), LRM_INTERFACE)
+        stub = client.stub(ref, LRM_INTERFACE)
+        assert benchmark(stub.get_status)["node"] == "node042"
+    finally:
+        server.shutdown()
+        client.shutdown()
+
+
+def test_e11_oneway_inproc(benchmark):
+    domain = InProcDomain()
+    server = Orb("ow-server", domain=domain)
+    client = Orb("ow-client", domain=domain)
+    try:
+        ref = server.activate(EchoLrm(), LRM_INTERFACE)
+        stub = client.stub(ref, LRM_INTERFACE)
+        benchmark(stub.cancel_reservation, "t1")
+    finally:
+        server.shutdown()
+        client.shutdown()

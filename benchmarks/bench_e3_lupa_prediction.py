@@ -1,0 +1,117 @@
+"""E3 — LUPA usage-pattern learning and idle prediction.
+
+The paper: 5-minute samples are grouped into periods, clustered, and
+the resulting categories "map to common usage periods such as
+lunch-breaks, nights, holidays, working periods" enabling the scheduler
+"to forecast if an idle machine will stay idle".  Train LUPAs on 1-6
+weeks of synthetic owner traces and score, on a held-out week:
+
+* busy-probability MAE against the profile's true presence curve, and
+* idle-span forecast accuracy: at each probe hour, does "will the node
+  stay idle for the next 2 h?" (threshold 0.5) match what the actual
+  trace then does?
+
+Expected shape: error falls with training weeks for structured owners
+(office, lab, night-owl) and stays at chance for the erratic one.
+"""
+
+import random
+
+from repro.analysis.metrics import Table
+from repro.core.lupa import Lupa
+from repro.sim.clock import SECONDS_PER_HOUR, SECONDS_PER_WEEK
+from repro.sim.events import EventLoop
+from repro.sim.machine import MachineSpec
+from repro.sim.usage import ERRATIC, NIGHT_OWL, OFFICE_WORKER, PROFILES, STUDENT_LAB
+from repro.sim.workstation import Workstation
+
+from conftest import run_once, save_result
+
+PROBE_SPAN_S = 2 * SECONDS_PER_HOUR
+
+
+def train(profile, weeks, seed):
+    loop = EventLoop()
+    workstation = Workstation(
+        loop, profile.name, spec=MachineSpec(), profile=profile,
+        rng=random.Random(seed),
+    )
+    machine = workstation.machine
+    lupa = Lupa(
+        loop, profile.name,
+        probe=lambda: 1.0 if (
+            machine.keyboard_active or machine.owner_cpu >= 0.1
+        ) else 0.0,
+        min_history_days=7,
+    )
+    loop.run_until(weeks * SECONDS_PER_WEEK)
+    return loop, workstation, lupa
+
+
+def evaluate(profile, weeks, seed=13):
+    loop, workstation, lupa = train(profile, weeks, seed)
+    if not lupa.learned:
+        return None
+    # Held-out week: walk span by span; score against the *realized*
+    # trace (not the generating distribution — that would flatter
+    # unpredictable owners whose mean is flat but whose behaviour is not).
+    mae_sum, mae_n = 0.0, 0
+    span_hits, span_total, idle_forecasts = 0, 0, 0
+    start = loop.now
+    while loop.now < start + SECONDS_PER_WEEK - PROBE_SPAN_S:
+        probe_at = loop.now
+        predicted_busy = lupa.predict_busy(probe_at)
+        realized = 1.0 if workstation.owner_present else 0.0
+        mae_sum += abs(predicted_busy - realized)
+        mae_n += 1
+        forecast_idle = lupa.idle_probability(probe_at, PROBE_SPAN_S) >= 0.5
+        idle_forecasts += forecast_idle
+        # Watch what actually happens over the span.
+        interrupted = workstation.owner_present
+        target = probe_at + PROBE_SPAN_S
+        while loop.now < target:
+            loop.run_for(lupa.sample_interval)
+            if workstation.owner_present:
+                interrupted = True
+        span_hits += forecast_idle == (not interrupted)
+        span_total += 1
+    return {
+        "mae": mae_sum / mae_n,
+        "span_accuracy": span_hits / span_total,
+        "idle_forecast_fraction": idle_forecasts / span_total,
+    }
+
+
+def run_experiment():
+    table = Table(
+        ["profile", "training weeks", "busy MAE (realized)",
+         "2h span accuracy", "spans forecast idle"],
+        title="E3: LUPA prediction quality vs training history",
+    )
+    for profile in (OFFICE_WORKER, STUDENT_LAB, NIGHT_OWL, ERRATIC):
+        for weeks in (1, 2, 4):
+            scores = evaluate(profile, weeks)
+            if scores is None:
+                table.add_row(profile.name, weeks, "n/a", "n/a", "n/a")
+                continue
+            table.add_row(
+                profile.name, weeks, scores["mae"],
+                scores["span_accuracy"], scores["idle_forecast_fraction"],
+            )
+    return table
+
+
+def test_e3_lupa_prediction(benchmark):
+    table = run_once(benchmark, run_experiment)
+    save_result("e3_lupa_prediction", table.render())
+    rows = {(r[0], r[1]): r for r in table.rows}
+    # Structured owners are predictable after 4 weeks...
+    for name in ("office_worker", "night_owl"):
+        assert float(rows[(name, "4")][2]) < 0.30
+        assert float(rows[(name, "4")][3]) > 0.7
+    # ...the erratic owner is not (realized-trace error near chance).
+    assert float(rows[("erratic", "4")][2]) > \
+        float(rows[("office_worker", "4")][2])
+    # Structured owners actually yield usable idle slots.
+    assert float(rows[("office_worker", "4")][4]) > 0.3
+    assert float(rows[("erratic", "4")][4]) < 0.1

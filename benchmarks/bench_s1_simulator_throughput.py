@@ -1,0 +1,70 @@
+"""S1 — substrate throughput (infrastructure benchmark, not a paper
+experiment).
+
+How much simulated grid a second of wall clock buys, as a function of
+cluster size — the number that decides what experiment scales are
+practical.  pytest-benchmark times one simulated hour of a fully wired
+cluster (owners, LRMs, updates, LUPA sampling all active).
+"""
+
+from repro import Grid
+from repro.analysis.metrics import Table
+from repro.core.ncc import VACATE_POLICY
+from repro.sim.clock import SECONDS_PER_HOUR
+from repro.sim.usage import OFFICE_WORKER
+
+from conftest import save_result
+
+
+def build(nodes, seed=1):
+    grid = Grid(seed=seed, policy="pattern_aware", lupa_enabled=True,
+                update_interval=60.0, tick_interval=30.0)
+    grid.add_cluster("c0")
+    for i in range(nodes):
+        grid.add_node("c0", f"n{i:03}", profile=OFFICE_WORKER,
+                      sharing=VACATE_POLICY)
+    grid.run_for(60)
+    return grid
+
+
+def simulate_one_hour(grid):
+    grid.run_for(SECONDS_PER_HOUR)
+    return grid.loop.events_fired
+
+
+def test_s1_throughput_16_nodes(benchmark):
+    grid = build(16)
+    events = benchmark.pedantic(
+        simulate_one_hour, args=(grid,), rounds=3, iterations=1
+    )
+    assert events > 0
+
+
+def test_s1_throughput_64_nodes(benchmark):
+    grid = build(64)
+    events = benchmark.pedantic(
+        simulate_one_hour, args=(grid,), rounds=3, iterations=1
+    )
+    assert events > 0
+
+
+def test_s1_events_scaling(benchmark):
+    """Event volume per simulated hour scales linearly with nodes."""
+    def measure():
+        table = Table(
+            ["nodes", "events per simulated hour"],
+            title="S1: event volume per simulated hour (fully wired nodes)",
+        )
+        volumes = {}
+        for nodes in (8, 32):
+            grid = build(nodes)
+            before = grid.loop.events_fired
+            grid.run_for(SECONDS_PER_HOUR)
+            volumes[nodes] = grid.loop.events_fired - before
+            table.add_row(nodes, volumes[nodes])
+        return table, volumes
+
+    table, volumes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    save_result("s1_simulator_throughput", table.render())
+    ratio = volumes[32] / volumes[8]
+    assert 3.0 < ratio < 5.0   # ~linear in node count

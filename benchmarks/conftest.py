@@ -1,0 +1,28 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one table/figure from the experiment index
+in DESIGN.md.  The measured rows are printed AND written to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote them
+verbatim; the pytest-benchmark fixture times one representative run.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_result(experiment: str, text: str) -> None:
+    """Persist an experiment's rendered table(s)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as f:
+        f.write(text.rstrip() + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full experiment run with pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Opportunistic render farm: the paper's motivating workload.
+
+"The movie industry makes intensive use of computers to render movies"
+(Section 1).  A studio has 16 office desktops and no dedicated cluster.
+Overnight and around their owners' work, the desktops render a batch of
+frames submitted Monday morning.
+
+The example contrasts two schedulers on identical workloads and machine
+seeds: availability-only (first come, first used) versus the paper's
+usage-pattern-aware policy after a two-week LUPA training period —
+showing fewer evictions and less wasted computation.
+
+Run:  python examples/render_farm.py
+"""
+
+from repro import ApplicationSpec, Grid
+from repro.analysis.metrics import Table
+from repro.core.ncc import VACATE_POLICY
+from repro.sim.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.sim.usage import NIGHT_OWL, OFFICE_WORKER, STUDENT_LAB
+
+FRAMES = 8                     # below pool capacity: placement choice matters
+FRAME_WORK_MIPS = 6e6          # ~100 idle minutes per frame at 1000 MIPS
+TRAINING_DAYS = 14
+NODES = 16
+
+
+def build_grid(policy):
+    grid = Grid(
+        seed=99,
+        policy=policy,
+        lupa_enabled=True,
+        lupa_min_history_days=7,
+        update_interval=120.0,
+        tick_interval=60.0,
+    )
+    grid.add_cluster("studio")
+    profiles = [OFFICE_WORKER] * 10 + [STUDENT_LAB] * 4 + [NIGHT_OWL] * 2
+    for i, profile in enumerate(profiles):
+        grid.add_node(
+            "studio", f"desk{i:02}", profile=profile, sharing=VACATE_POLICY
+        )
+    return grid
+
+
+def run_batch(policy):
+    grid = build_grid(policy)
+    # Two weeks of operation trains every LUPA before the batch arrives.
+    grid.run_for(TRAINING_DAYS * SECONDS_PER_DAY)
+    # Monday 09:00 of week 3: the studio submits the whole batch.
+    grid.run_for(9 * SECONDS_PER_HOUR)
+    asct = grid.make_asct("studio", user="producer")
+    job_ids = [
+        asct.submit(ApplicationSpec(
+            name=f"frame-{frame:03}",
+            work_mips=FRAME_WORK_MIPS,
+            metadata={"checkpoint_interval_s": 900.0},
+        ))
+        for frame in range(FRAMES)
+    ]
+    deadline = grid.loop.now + 4 * SECONDS_PER_DAY
+    while grid.loop.now < deadline:
+        grid.run_for(SECONDS_PER_HOUR)
+        if all(asct.is_done(j) for j in job_ids):
+            break
+    jobs = [grid.job(j) for j in job_ids]
+    finished = [j for j in jobs if j.makespan is not None]
+    evictions = sum(t.evictions for j in jobs for t in j.tasks)
+    wasted = sum(t.wasted_mips for j in jobs for t in j.tasks)
+    last_done = max((j.makespan for j in finished), default=float("nan"))
+    return {
+        "frames_done": len(finished),
+        "batch_hours": last_done / 3600.0,
+        "evictions": evictions,
+        "wasted_cpu_min": wasted / 1000.0 / 60.0,
+    }
+
+
+def main():
+    print(f"Rendering {FRAMES} frames on {NODES} shared desktops "
+          f"(submitted Monday 09:00)\n")
+    table = Table(
+        ["scheduler", "frames done", "batch (h)", "evictions",
+         "wasted CPU (min)"],
+        title="Render batch: availability-only vs usage-pattern-aware",
+    )
+    for policy in ("fastest_first", "pattern_aware"):
+        outcome = run_batch(policy)
+        table.add_row(
+            policy,
+            f"{outcome['frames_done']}/{FRAMES}",
+            outcome["batch_hours"],
+            outcome["evictions"],
+            outcome["wasted_cpu_min"],
+        )
+    print(table.render())
+    print(
+        "\npattern_aware places frames on machines whose owners are "
+        "predicted to stay away\n(night-owls' desks during the day, "
+        "office desks at night), so fewer renders are\ninterrupted "
+        "and less computation is thrown away."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Sandboxed task payloads: real code, protected providers.
+
+Section 3's security requirement — "users who decide to export its
+resources to the grid do not have its personal files and overall
+private information exposed or damaged in any way" — wired into the
+execution path.  Tasks carry Python source; the provider's LRM runs it
+in a capability-restricted sandbox when the work completes and the
+result rides home on the ``task_completed`` notification.
+
+The example submits a distributed Monte-Carlo-free pi computation (the
+Leibniz series, partitioned by task index) and then a *hostile* job that
+tries to read the provider's files — and is caught.
+
+Run:  python examples/sandboxed_tasks.py
+"""
+
+from repro import ApplicationSpec, Grid
+from repro.sim.clock import SECONDS_PER_HOUR
+
+PI_SLICE = """
+terms = 100000
+result = sum(
+    (1.0 if k % 2 == 0 else -1.0) * 4.0 / (2 * k + 1)
+    for k in range(task_index * terms, (task_index + 1) * terms)
+)
+"""
+
+HOSTILE = """
+secrets = open('/etc/passwd').read()
+result = secrets
+"""
+
+
+def main():
+    grid = Grid(seed=12, policy="first_fit", lupa_enabled=False)
+    grid.add_cluster("c0")
+    for i in range(4):
+        grid.add_node("c0", f"prov{i}", dedicated=True)
+    grid.run_for(300)
+    asct = grid.make_asct("c0", user="carol")
+
+    print("Submitting a 4-slice Leibniz pi computation as sandboxed "
+          "payloads...\n")
+    job_id = asct.submit(ApplicationSpec(
+        name="leibniz-pi", tasks=4, work_mips=2e5,
+        metadata={"payload": PI_SLICE},
+    ))
+    grid.run_for(SECONDS_PER_HOUR)
+    status = asct.status(job_id)
+    slices = [t["result"] for t in status["tasks"]]
+    for task in status["tasks"]:
+        print(f"  {task['task_id']} on {task['node']}: "
+              f"partial = {task['result']:.10f}")
+    print(f"\n  pi ~= {sum(slices):.10f}   (job state: {status['state']})")
+
+    print("\nSubmitting a hostile job that tries to read the provider's "
+          "files...\n")
+    evil_id = asct.submit(ApplicationSpec(
+        name="exfiltrate", work_mips=2e5,
+        metadata={"payload": HOSTILE},
+    ))
+    grid.run_for(SECONDS_PER_HOUR)
+    status = asct.status(evil_id)
+    task = status["tasks"][0]
+    print(f"  job state : {status['state']}")
+    print(f"  error     : {task['result']['__error__']}")
+    print(f"  audit log : {task['result']['__audit__']}")
+    node = grid.clusters["c0"].nodes[task["node"]]
+    print(f"  provider {task['node']} recorded "
+          f"{node.lrm.sandbox_violations} sandbox violation(s); "
+          "no file was opened.")
+
+
+if __name__ == "__main__":
+    main()

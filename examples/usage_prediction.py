@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Usage-pattern collection and idle prediction (LUPA/GUPA).
+
+Feeds a LUPA three weeks of 5-minute samples from simulated owners with
+different habits, then shows the weekly behavioural profile it learned
+(as an ASCII heat strip per weekday) and the idle-span predictions the
+GRM would consult — the paper's "lunch-breaks, nights, holidays,
+working periods" categories, recovered by clustering.
+
+Run:  python examples/usage_prediction.py
+"""
+
+import random
+
+from repro.core.gupa import Gupa
+from repro.core.lupa import Lupa
+from repro.sim.clock import (
+    DAY_NAMES,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_WEEK,
+)
+from repro.sim.events import EventLoop
+from repro.sim.machine import MachineSpec
+from repro.sim.usage import NIGHT_OWL, OFFICE_WORKER, STUDENT_LAB
+from repro.sim.workstation import Workstation
+
+SHADES = " .:-=+*#%@"
+
+
+def train_lupa(profile, weeks=3, seed=11):
+    loop = EventLoop()
+    workstation = Workstation(
+        loop, profile.name, spec=MachineSpec(), profile=profile,
+        rng=random.Random(seed),
+    )
+    machine = workstation.machine
+    lupa = Lupa(
+        loop, profile.name,
+        probe=lambda: 1.0 if (
+            machine.keyboard_active or machine.owner_cpu >= 0.1
+        ) else 0.0,
+        min_history_days=7,
+    )
+    loop.run_until(weeks * SECONDS_PER_WEEK)
+    return lupa
+
+
+def heat_strip(lupa, day):
+    """One character per half-hour bin: darker = busier."""
+    chars = []
+    for bin_index in range(lupa.bins_per_day):
+        when = day * SECONDS_PER_DAY + bin_index * (
+            SECONDS_PER_DAY / lupa.bins_per_day
+        )
+        busy = lupa.predict_busy(when)
+        chars.append(SHADES[min(len(SHADES) - 1, int(busy * len(SHADES)))])
+    return "".join(chars)
+
+
+def main():
+    print("Learned weekly profiles (one row per weekday, one char per "
+          "30 min, 00:00-24:00;\ndarker = busier):\n")
+    gupa = Gupa()
+    lupas = {}
+    for profile in (OFFICE_WORKER, STUDENT_LAB, NIGHT_OWL):
+        lupa = train_lupa(profile)
+        lupas[profile.name] = lupa
+        gupa.upload_pattern(profile.name, lupa.pattern())
+        print(f"{profile.name} "
+              f"(history: {lupa.history_days} days, "
+              f"{lupa.samples_taken} samples)")
+        print("           0     3     6     9     12    15    18    21")
+        for day in range(7):
+            print(f"  {DAY_NAMES[day][:3]}      {heat_strip(lupa, day)}")
+        print()
+
+    print("GUPA idle-span predictions (probability the node stays idle "
+          "for the whole span):\n")
+    queries = [
+        ("Tuesday 10:00", SECONDS_PER_DAY + 10 * SECONDS_PER_HOUR),
+        ("Tuesday 12:15", SECONDS_PER_DAY + 12.25 * SECONDS_PER_HOUR),
+        ("Tuesday 22:00", SECONDS_PER_DAY + 22 * SECONDS_PER_HOUR),
+        ("Saturday 14:00", 5 * SECONDS_PER_DAY + 14 * SECONDS_PER_HOUR),
+    ]
+    spans = [0.5, 2.0, 8.0]
+    header = "node           when            " + "".join(
+        f"{s:>4.1f}h  " for s in spans
+    )
+    print(header)
+    print("-" * len(header))
+    for name in lupas:
+        for label, start in queries:
+            cells = "".join(
+                f"{gupa.idle_probability(name, start, h * SECONDS_PER_HOUR):5.2f}  "
+                for h in spans
+            )
+            print(f"{name:<14} {label:<15} {cells}")
+        print()
+
+    print("A GRM placing a 2-hour task on Tuesday morning should pick "
+          "the night_owl's machine;\nat 22:00 it should pick the "
+          "office_worker's. That is exactly what the pattern_aware\n"
+          "policy does with these numbers.")
+
+
+if __name__ == "__main__":
+    main()

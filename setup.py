@@ -1,0 +1,8 @@
+"""Thin setup.py shim so `python setup.py develop` works offline.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

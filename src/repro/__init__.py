@@ -1,0 +1,47 @@
+"""InteGrade reproduction: object-oriented grid middleware that harvests
+the idle computing power of desktop machines.
+
+Quick start::
+
+    from repro import Grid, ApplicationSpec
+    from repro.sim.usage import OFFICE_WORKER
+
+    grid = Grid(seed=1)
+    grid.add_cluster("lab")
+    for i in range(8):
+        grid.add_node("lab", f"ws{i}", profile=OFFICE_WORKER)
+    job_id = grid.submit(ApplicationSpec(name="render", work_mips=1e6))
+    grid.wait_for_job(job_id)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+experiment catalogue.
+"""
+
+from repro.apps.spec import (
+    ApplicationSpec,
+    NodeGroupRequest,
+    ResourceRequirements,
+    VirtualTopologyRequest,
+)
+from repro.apps.job import Job, JobState, Task, TaskState
+from repro.core.grid import Grid
+from repro.core.ncc import BlackoutWindow, SharingPolicy
+from repro.sim.machine import MachineSpec
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ApplicationSpec",
+    "NodeGroupRequest",
+    "ResourceRequirements",
+    "VirtualTopologyRequest",
+    "Job",
+    "JobState",
+    "Task",
+    "TaskState",
+    "Grid",
+    "BlackoutWindow",
+    "SharingPolicy",
+    "MachineSpec",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Statistical analysis: clustering for usage patterns, and experiment metrics."""
+
+from repro.analysis.clustering import ClusteringResult, kmeans, silhouette_score
+from repro.analysis.metrics import Table, describe, percentile
+
+__all__ = [
+    "ClusteringResult",
+    "kmeans",
+    "silhouette_score",
+    "Table",
+    "describe",
+    "percentile",
+]

@@ -1,0 +1,145 @@
+"""K-means clustering over usage periods.
+
+The paper (Section 3) prescribes "clustering algorithms [JW83] ... to
+extract behavioral categories" from node-usage periods.  This module
+implements k-means with deterministic k-means++-style seeding, plus a
+silhouette score for choosing k.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class ClusteringResult:
+    """Centroids, per-sample labels, and the within-cluster inertia."""
+
+    centroids: np.ndarray     # shape (k, dims)
+    labels: np.ndarray        # shape (n,)
+    inertia: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+    def predict(self, sample: np.ndarray) -> int:
+        """Index of the centroid nearest to ``sample``."""
+        distances = np.linalg.norm(self.centroids - sample, axis=1)
+        return int(np.argmin(distances))
+
+    def cluster_sizes(self) -> list:
+        """Number of samples assigned to each cluster."""
+        return [int(np.sum(self.labels == i)) for i in range(self.k)]
+
+
+def _seed_centroids(data: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids apart."""
+    n = data.shape[0]
+    centroids = [data[rng.integers(n)]]
+    for _ in range(1, k):
+        distances = np.min(
+            np.linalg.norm(data[:, None, :] - np.array(centroids)[None, :, :], axis=2),
+            axis=1,
+        )
+        total = float(np.sum(distances ** 2))
+        if total <= 0:
+            centroids.append(data[rng.integers(n)])
+            continue
+        probs = distances ** 2 / total
+        centroids.append(data[rng.choice(n, p=probs)])
+    return np.array(centroids)
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+) -> ClusteringResult:
+    """Cluster ``data`` (n_samples x dims) into ``k`` groups.
+
+    Deterministic for a given seed.  Raises ValueError when there are
+    fewer samples than clusters.
+    """
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape}")
+    n = data.shape[0]
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if n < k:
+        raise ValueError(f"cannot form {k} clusters from {n} samples")
+
+    rng = np.random.default_rng(seed)
+    centroids = _seed_centroids(data, k, rng)
+    labels = np.zeros(n, dtype=int)
+    for iteration in range(1, max_iter + 1):
+        distances = np.linalg.norm(data[:, None, :] - centroids[None, :, :], axis=2)
+        labels = np.argmin(distances, axis=1)
+        new_centroids = centroids.copy()
+        for i in range(k):
+            members = data[labels == i]
+            if len(members):
+                new_centroids[i] = members.mean(axis=0)
+        shift = float(np.linalg.norm(new_centroids - centroids))
+        centroids = new_centroids
+        if shift < tol:
+            break
+    inertia = float(
+        np.sum((data - centroids[labels]) ** 2)
+    )
+    return ClusteringResult(centroids, labels, inertia, iteration)
+
+
+def silhouette_score(data: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient in [-1, 1]; higher = better separated.
+
+    Returns 0.0 when every sample is in one cluster (undefined case).
+    """
+    data = np.asarray(data, dtype=float)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        return 0.0
+    n = data.shape[0]
+    distances = np.linalg.norm(data[:, None, :] - data[None, :, :], axis=2)
+    scores = np.zeros(n)
+    for i in range(n):
+        own = labels[i]
+        own_mask = labels == own
+        own_count = int(np.sum(own_mask))
+        if own_count <= 1:
+            scores[i] = 0.0
+            continue
+        a = float(np.sum(distances[i][own_mask])) / (own_count - 1)
+        b = min(
+            float(np.mean(distances[i][labels == other]))
+            for other in unique
+            if other != own
+        )
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(np.mean(scores))
+
+
+def best_k(
+    data: np.ndarray,
+    k_range: range,
+    seed: int = 0,
+) -> tuple:
+    """Pick k from ``k_range`` by silhouette; returns (k, result)."""
+    best: Optional[tuple] = None
+    for k in k_range:
+        if k >= len(data) or k < 2:
+            continue
+        result = kmeans(data, k, seed=seed)
+        score = silhouette_score(data, result.labels)
+        if best is None or score > best[0]:
+            best = (score, k, result)
+    if best is None:
+        raise ValueError("k_range produced no valid clustering")
+    return best[1], best[2]

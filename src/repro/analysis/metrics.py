@@ -1,0 +1,93 @@
+"""Experiment metrics and table rendering.
+
+Every benchmark prints its results as rows, the way the paper's tables
+would have; :class:`Table` is the one formatter they all share so
+EXPERIMENTS.md stays consistent.
+"""
+
+import math
+from typing import Iterable, Optional, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    # a + (b - a) * f is exact for a == b, unlike a*(1-f) + b*f, which
+    # can drift outside [a, b] for large magnitudes.
+    return float(ordered[low] + (ordered[high] - ordered[low]) * frac)
+
+
+def describe(values: Sequence[float]) -> dict:
+    """Mean, min, max, p50, p95, and count for a sample."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                "p50": 0.0, "p95": 0.0}
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+    }
+
+
+class Table:
+    """A fixed-column ASCII table, printed by the benchmark harnesses."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> "Table":
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([self._format(c) for c in cells])
+        return self
+
+    @staticmethod
+    def _format(cell) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            magnitude = abs(cell)
+            if magnitude >= 1000 or magnitude < 0.01:
+                return f"{cell:.3g}"
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in self.rows))
+            if self.rows else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,38 @@
+"""Application model: descriptors, jobs, and the constraint language.
+
+Grid users describe what they need ("each node should have at least 16 MB
+of RAM and a CPU of at least 500 MIPS") and what they prefer ("rather a
+faster CPU than a slower one").  This package provides the vocabulary the
+ASCT, GRM, and Trader share.
+"""
+
+from repro.apps.constraints import (
+    Constraint,
+    ConstraintError,
+    Preference,
+    UNDEFINED,
+    evaluate,
+)
+from repro.apps.spec import (
+    ApplicationSpec,
+    NodeGroupRequest,
+    ResourceRequirements,
+    VirtualTopologyRequest,
+)
+from repro.apps.job import Job, JobState, Task, TaskState
+
+__all__ = [
+    "Constraint",
+    "ConstraintError",
+    "Preference",
+    "UNDEFINED",
+    "evaluate",
+    "ApplicationSpec",
+    "NodeGroupRequest",
+    "ResourceRequirements",
+    "VirtualTopologyRequest",
+    "Job",
+    "JobState",
+    "Task",
+    "TaskState",
+]

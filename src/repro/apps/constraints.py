@@ -1,0 +1,310 @@
+"""A small constraint/preference expression language.
+
+Used in three places, mirroring the original system's use of the CORBA
+Trader constraint language and Condor's ClassAds:
+
+* the Trading service evaluates offer constraints (``"mips >= 500 &&
+  ram_mb >= 16"``),
+* the ASCT expresses application requirements and preferences,
+* the Condor-style baseline uses it for matchmaking.
+
+Semantics follow ClassAds where it matters: referencing a property the
+offer does not define yields ``UNDEFINED``, and any comparison against
+``UNDEFINED`` is false, so malformed offers are never matched rather than
+raising at matchmaking time.
+
+Grammar::
+
+    expr   := or
+    or     := and  (("||" | "or")  and)*
+    and    := not  (("&&" | "and") not)*
+    not    := ("!" | "not") not | cmp
+    cmp    := sum  (("=="|"!="|"<="|">="|"<"|">") sum)?
+    sum    := term (("+"|"-") term)*
+    term   := factor (("*"|"/") factor)*
+    factor := NUMBER | STRING | IDENT | "true" | "false"
+            | "(" expr ")" | "-" factor
+"""
+
+import re
+from typing import Any, Mapping, Optional, Union
+
+
+class ConstraintError(Exception):
+    """Raised for syntax errors in a constraint expression."""
+
+
+class _Undefined:
+    """ClassAd-style undefined value: comparisons are false, not errors."""
+
+    _instance: Optional["_Undefined"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "UNDEFINED"
+
+    def __bool__(self):
+        return False
+
+
+UNDEFINED = _Undefined()
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<op><=|>=|==|!=|&&|\|\||[-+*/()<>!])
+  | (?P<ws>\s+)
+""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and": "&&", "or": "||", "not": "!", "true": True, "false": False}
+
+
+def _tokenize(text: str) -> list:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ConstraintError(
+                f"unexpected character {text[pos]!r} at position {pos}"
+            )
+        pos = match.end()
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "ws":
+            continue
+        if kind == "number":
+            tokens.append(("num", float(value)))
+        elif kind == "string":
+            tokens.append(("str", value[1:-1]))
+        elif kind == "ident":
+            lowered = value.lower()
+            if lowered in ("true", "false"):
+                tokens.append(("bool", _KEYWORDS[lowered]))
+            elif lowered in ("and", "or", "not"):
+                tokens.append(("op", _KEYWORDS[lowered]))
+            else:
+                tokens.append(("ident", value))
+        else:
+            tokens.append(("op", value))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser producing a nested-tuple AST."""
+
+    def __init__(self, tokens: list):
+        self._tokens = tokens
+        self._pos = 0
+
+    def parse(self):
+        node = self._or()
+        if self._pos != len(self._tokens):
+            kind, value = self._tokens[self._pos]
+            raise ConstraintError(f"trailing input at token {value!r}")
+        return node
+
+    def _peek_op(self, *ops) -> Optional[str]:
+        if self._pos < len(self._tokens):
+            kind, value = self._tokens[self._pos]
+            if kind == "op" and value in ops:
+                return value
+        return None
+
+    def _or(self):
+        node = self._and()
+        while self._peek_op("||"):
+            self._pos += 1
+            node = ("or", node, self._and())
+        return node
+
+    def _and(self):
+        node = self._not()
+        while self._peek_op("&&"):
+            self._pos += 1
+            node = ("and", node, self._not())
+        return node
+
+    def _not(self):
+        if self._peek_op("!"):
+            self._pos += 1
+            return ("not", self._not())
+        return self._cmp()
+
+    def _cmp(self):
+        node = self._sum()
+        op = self._peek_op("==", "!=", "<=", ">=", "<", ">")
+        if op:
+            self._pos += 1
+            node = ("cmp", op, node, self._sum())
+        return node
+
+    def _sum(self):
+        node = self._term()
+        while True:
+            op = self._peek_op("+", "-")
+            if not op:
+                return node
+            self._pos += 1
+            node = ("arith", op, node, self._term())
+
+    def _term(self):
+        node = self._factor()
+        while True:
+            op = self._peek_op("*", "/")
+            if not op:
+                return node
+            self._pos += 1
+            node = ("arith", op, node, self._factor())
+
+    def _factor(self):
+        if self._pos >= len(self._tokens):
+            raise ConstraintError("unexpected end of expression")
+        kind, value = self._tokens[self._pos]
+        if kind == "num":
+            self._pos += 1
+            return ("num", value)
+        if kind == "str":
+            self._pos += 1
+            return ("str", value)
+        if kind == "bool":
+            self._pos += 1
+            return ("bool", value)
+        if kind == "ident":
+            self._pos += 1
+            return ("ident", value)
+        if kind == "op" and value == "(":
+            self._pos += 1
+            node = self._or()
+            if not self._peek_op(")"):
+                raise ConstraintError("missing closing parenthesis")
+            self._pos += 1
+            return node
+        if kind == "op" and value == "-":
+            self._pos += 1
+            return ("neg", self._factor())
+        raise ConstraintError(f"unexpected token {value!r}")
+
+
+def _truthy(value: Any) -> bool:
+    if value is UNDEFINED:
+        return False
+    return bool(value)
+
+
+def _eval(node, props: Mapping[str, Any]) -> Any:
+    kind = node[0]
+    if kind in ("num", "str", "bool"):
+        return node[1]
+    if kind == "ident":
+        return props.get(node[1], UNDEFINED)
+    if kind == "neg":
+        value = _eval(node[1], props)
+        if value is UNDEFINED or isinstance(value, str):
+            return UNDEFINED
+        return -value
+    if kind == "not":
+        return not _truthy(_eval(node[1], props))
+    if kind == "and":
+        return _truthy(_eval(node[1], props)) and _truthy(_eval(node[2], props))
+    if kind == "or":
+        return _truthy(_eval(node[1], props)) or _truthy(_eval(node[2], props))
+    if kind == "arith":
+        op, lhs, rhs = node[1], _eval(node[2], props), _eval(node[3], props)
+        if lhs is UNDEFINED or rhs is UNDEFINED:
+            return UNDEFINED
+        # ClassAd semantics: arithmetic on non-numbers is UNDEFINED,
+        # never an error at matchmaking time.
+        if isinstance(lhs, str) or isinstance(rhs, str):
+            return UNDEFINED
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if rhs == 0:
+            return UNDEFINED
+        return lhs / rhs
+    if kind == "cmp":
+        op, lhs, rhs = node[1], _eval(node[2], props), _eval(node[3], props)
+        if lhs is UNDEFINED or rhs is UNDEFINED:
+            return False
+        mixed_types = isinstance(lhs, str) != isinstance(rhs, str)
+        if mixed_types:
+            return op == "!="
+        if op == "==":
+            return lhs == rhs
+        if op == "!=":
+            return lhs != rhs
+        if op == "<":
+            return lhs < rhs
+        if op == ">":
+            return lhs > rhs
+        if op == "<=":
+            return lhs <= rhs
+        return lhs >= rhs
+    raise ConstraintError(f"unknown AST node {kind!r}")
+
+
+class Constraint:
+    """A parsed boolean constraint, reusable across many property sets."""
+
+    def __init__(self, text: str):
+        self.text = text
+        stripped = text.strip()
+        if not stripped:
+            self._ast = ("bool", True)
+        else:
+            self._ast = _Parser(_tokenize(stripped)).parse()
+
+    def matches(self, props: Mapping[str, Any]) -> bool:
+        """True iff the expression is truthy over ``props``."""
+        return _truthy(_eval(self._ast, props))
+
+    def value(self, props: Mapping[str, Any]) -> Any:
+        """Raw expression value (may be a number or UNDEFINED)."""
+        return _eval(self._ast, props)
+
+    def __repr__(self):
+        return f"Constraint({self.text!r})"
+
+
+class Preference:
+    """A numeric ranking expression: higher values are preferred.
+
+    Mirrors the paper's "preferences, like rather executing on a faster
+    CPU than on a slower one" — e.g. ``Preference("mips")``.  Offers for
+    which the expression is undefined rank below all defined ones.
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+        self._constraint = Constraint(text if text.strip() else "0")
+
+    def score(self, props: Mapping[str, Any]) -> float:
+        """Numeric score for ranking; -inf when undefined."""
+        value = self._constraint.value(props)
+        if value is UNDEFINED:
+            return float("-inf")
+        if isinstance(value, bool):
+            return 1.0 if value else 0.0
+        if isinstance(value, str):
+            return float("-inf")
+        return float(value)
+
+    def __repr__(self):
+        return f"Preference({self.text!r})"
+
+
+def evaluate(text: str, props: Mapping[str, Any]) -> bool:
+    """One-shot convenience: parse and match in a single call."""
+    return Constraint(text).matches(props)

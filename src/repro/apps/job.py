@@ -1,0 +1,188 @@
+"""Job and task lifecycle.
+
+A submitted application becomes a :class:`Job` with one :class:`Task` per
+process.  Both keep an explicit state machine with validated transitions
+and a timestamped history, which the ASCT exposes as "application
+progress" monitoring and the experiment harnesses mine for metrics.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.spec import ApplicationSpec
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    SCHEDULING = "scheduling"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    RESERVED = "reserved"
+    RUNNING = "running"
+    EVICTED = "evicted"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+_TASK_TRANSITIONS = {
+    TaskState.PENDING: {TaskState.RESERVED, TaskState.CANCELLED, TaskState.FAILED},
+    TaskState.RESERVED: {TaskState.RUNNING, TaskState.PENDING, TaskState.CANCELLED},
+    TaskState.RUNNING: {
+        TaskState.COMPLETED,
+        TaskState.EVICTED,
+        TaskState.FAILED,
+        TaskState.CANCELLED,
+    },
+    TaskState.EVICTED: {TaskState.PENDING, TaskState.CANCELLED, TaskState.FAILED},
+    TaskState.COMPLETED: set(),
+    TaskState.FAILED: set(),
+    TaskState.CANCELLED: set(),
+}
+
+TERMINAL_TASK_STATES = {TaskState.COMPLETED, TaskState.FAILED, TaskState.CANCELLED}
+
+
+class InvalidTransition(Exception):
+    """Raised on an illegal task or job state change."""
+
+
+@dataclass
+class HistoryEvent:
+    """One timestamped lifecycle event."""
+
+    time: float
+    state: str
+    detail: str = ""
+
+
+class Task:
+    """One schedulable unit of a job."""
+
+    def __init__(self, job_id: str, index: int, work_mips: float):
+        self.job_id = job_id
+        self.index = index
+        self.task_id = f"{job_id}.{index}"
+        self.work_mips = work_mips
+        self.progress_mips = 0.0
+        self.state = TaskState.PENDING
+        self.node: Optional[str] = None
+        self.result = None            # payload output, delivered on completion
+        self.attempts = 0
+        self.evictions = 0
+        self.wasted_mips = 0.0      # progress lost to evictions/failures
+        self.history: list[HistoryEvent] = []
+
+    @property
+    def remaining_mips(self) -> float:
+        return max(0.0, self.work_mips - self.progress_mips)
+
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_TASK_STATES
+
+    def transition(self, new_state: TaskState, now: float, detail: str = "") -> None:
+        """Move to ``new_state``, enforcing the lifecycle graph."""
+        allowed = _TASK_TRANSITIONS[self.state]
+        if new_state not in allowed:
+            raise InvalidTransition(
+                f"task {self.task_id}: {self.state.value} -> {new_state.value}"
+            )
+        if new_state is TaskState.RUNNING:
+            self.attempts += 1
+        if new_state is TaskState.EVICTED:
+            self.evictions += 1
+        self.state = new_state
+        self.history.append(HistoryEvent(now, new_state.value, detail))
+
+    def advance(self, mips_done: float) -> None:
+        """Credit computational progress to the task."""
+        if mips_done < 0:
+            raise ValueError("progress cannot be negative")
+        self.progress_mips = min(self.work_mips, self.progress_mips + mips_done)
+
+    def rollback(self, to_progress_mips: float = 0.0) -> None:
+        """Lose progress (eviction without a checkpoint, or restart)."""
+        if to_progress_mips > self.progress_mips + 1e-9:
+            raise ValueError("cannot roll forward")
+        self.wasted_mips += self.progress_mips - to_progress_mips
+        self.progress_mips = to_progress_mips
+
+    def __repr__(self):
+        return (
+            f"Task({self.task_id}, {self.state.value}, "
+            f"{self.progress_mips:.0f}/{self.work_mips:.0f} MI, "
+            f"node={self.node})"
+        )
+
+
+class Job:
+    """A submitted application and its tasks."""
+
+    def __init__(self, job_id: str, spec: ApplicationSpec, submitted_at: float):
+        self.job_id = job_id
+        self.spec = spec
+        self.submitted_at = submitted_at
+        self.completed_at: Optional[float] = None
+        self.forwarded_to: Optional[str] = None   # wide-area handoff target
+        self.state = JobState.PENDING
+        self.tasks = [
+            Task(job_id, i, spec.work_mips) for i in range(spec.tasks)
+        ]
+        self.history: list[HistoryEvent] = [
+            HistoryEvent(submitted_at, JobState.PENDING.value, "submitted")
+        ]
+
+    def set_state(self, new_state: JobState, now: float, detail: str = "") -> None:
+        """Record a job-level state change (jobs have a looser lifecycle)."""
+        if self.state in (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED):
+            raise InvalidTransition(
+                f"job {self.job_id} is terminal ({self.state.value})"
+            )
+        self.state = new_state
+        if new_state in (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED):
+            self.completed_at = now
+        self.history.append(HistoryEvent(now, new_state.value, detail))
+
+    def refresh_state(self, now: float) -> None:
+        """Derive the job state from its tasks' states."""
+        states = {t.state for t in self.tasks}
+        if states <= {TaskState.COMPLETED}:
+            if self.state is not JobState.COMPLETED:
+                self.set_state(JobState.COMPLETED, now, "all tasks completed")
+        elif TaskState.FAILED in states:
+            if self.state is not JobState.FAILED:
+                self.set_state(JobState.FAILED, now, "a task failed")
+        elif TaskState.RUNNING in states:
+            if self.state is not JobState.RUNNING:
+                self.set_state(JobState.RUNNING, now)
+
+    @property
+    def done(self) -> bool:
+        return self.state in (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED)
+
+    @property
+    def makespan(self) -> Optional[float]:
+        """Submission-to-completion time, or None while in flight."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def progress_fraction(self) -> float:
+        """Overall fraction of the job's work completed, in [0, 1]."""
+        total = sum(t.work_mips for t in self.tasks)
+        done = sum(t.progress_mips for t in self.tasks)
+        return done / total if total > 0 else 1.0
+
+    def __repr__(self):
+        return (
+            f"Job({self.job_id}, {self.spec.name!r}, {self.state.value}, "
+            f"{self.progress_fraction():.0%})"
+        )

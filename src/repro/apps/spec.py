@@ -1,0 +1,232 @@
+"""Application descriptors.
+
+An :class:`ApplicationSpec` is what a user hands to the ASCT: what to run,
+how many tasks, the execution prerequisites (platform), the resource
+requirements (minima), the preferences (ranking), and — for parallel
+applications — the virtual network topology the processes need.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.apps.constraints import Constraint, Preference
+
+SEQUENTIAL = "sequential"
+BSP = "bsp"
+PARAMETRIC = "parametric"
+
+APPLICATION_KINDS = (SEQUENTIAL, BSP, PARAMETRIC)
+
+
+@dataclass(frozen=True)
+class ResourceRequirements:
+    """Per-task minima, in the paper's own vocabulary (MIPS, MB).
+
+    ``cpu_fraction`` is the CPU share a task wants on its host node and
+    ``mem_mb``/``disk_mb`` its working set; the ``min_*`` fields are node
+    admission minima.  ``extra`` is a free-form constraint over node
+    properties for anything the fixed fields do not cover.
+    """
+
+    min_mips: float = 0.0
+    min_ram_mb: float = 0.0
+    min_disk_mb: float = 0.0
+    min_net_mbps: float = 0.0
+    os: Optional[str] = None
+    arch: Optional[str] = None
+    cpu_fraction: float = 1.0
+    mem_mb: float = 16.0
+    disk_mb: float = 0.0
+    extra: str = ""
+
+    def __post_init__(self):
+        if not 0.0 < self.cpu_fraction <= 1.0:
+            raise ValueError(
+                f"cpu_fraction must be in (0, 1], got {self.cpu_fraction}"
+            )
+        if self.mem_mb < 0 or self.disk_mb < 0:
+            raise ValueError("memory and disk requirements must be >= 0")
+        # Parse eagerly so syntax errors surface at submission time.
+        if self.extra:
+            Constraint(self.extra)
+
+    def satisfied_by(self, props: Mapping[str, Any]) -> bool:
+        """Check a node's property dict against all requirements."""
+        if props.get("mips", 0.0) < self.min_mips:
+            return False
+        if props.get("ram_mb", 0.0) < self.min_ram_mb:
+            return False
+        if props.get("disk_mb", 0.0) < self.min_disk_mb:
+            return False
+        if self.min_net_mbps > 0.0 and \
+                props.get("net_mbps", 0.0) < self.min_net_mbps:
+            return False
+        if self.os is not None and props.get("os") != self.os:
+            return False
+        if self.arch is not None and props.get("arch") != self.arch:
+            return False
+        if self.extra and not Constraint(self.extra).matches(props):
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, marshallable as an ORB variant."""
+        return {
+            "min_mips": self.min_mips,
+            "min_ram_mb": self.min_ram_mb,
+            "min_disk_mb": self.min_disk_mb,
+            "min_net_mbps": self.min_net_mbps,
+            "os": self.os,
+            "arch": self.arch,
+            "cpu_fraction": self.cpu_fraction,
+            "mem_mb": self.mem_mb,
+            "disk_mb": self.disk_mb,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ResourceRequirements":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class NodeGroupRequest:
+    """One group of a virtual topology: N nodes on a fast internal network."""
+
+    count: int
+    intra_bandwidth_mbps: float
+    requirements: ResourceRequirements = field(default_factory=ResourceRequirements)
+
+    def __post_init__(self):
+        if self.count <= 0:
+            raise ValueError(f"group size must be positive, got {self.count}")
+        if self.intra_bandwidth_mbps <= 0:
+            raise ValueError("intra-group bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class VirtualTopologyRequest:
+    """The paper's example request, as a first-class object.
+
+    "execute application X in two groups of 50 nodes, each group connected
+    internally by a 100 Mbps network and the two groups connected by a
+    10 Mbps network" becomes::
+
+        VirtualTopologyRequest(
+            groups=(NodeGroupRequest(50, 100.0, reqs),
+                    NodeGroupRequest(50, 100.0, reqs)),
+            inter_bandwidth_mbps=10.0,
+        )
+    """
+
+    groups: tuple
+    inter_bandwidth_mbps: float
+
+    def __post_init__(self):
+        if not self.groups:
+            raise ValueError("a virtual topology needs at least one group")
+        if self.inter_bandwidth_mbps <= 0:
+            raise ValueError("inter-group bandwidth must be positive")
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(g.count for g in self.groups)
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """Everything the ASCT needs to submit an application.
+
+    ``work_mips`` is the per-task computational demand in
+    millions-of-instructions; a 1000 MIPS machine finishes a 3.6e6 MI task
+    in one idle hour.  For BSP applications ``program`` names a registered
+    BSP program and ``tasks`` is the number of parallel processes.
+    """
+
+    name: str
+    kind: str = SEQUENTIAL
+    tasks: int = 1
+    work_mips: float = 1e5
+    requirements: ResourceRequirements = field(default_factory=ResourceRequirements)
+    preference: str = ""
+    topology: Optional[VirtualTopologyRequest] = None
+    program: Optional[str] = None
+    checkpoint_every_supersteps: int = 0     # 0 = no checkpointing
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in APPLICATION_KINDS:
+            raise ValueError(
+                f"unknown application kind {self.kind!r}; "
+                f"expected one of {APPLICATION_KINDS}"
+            )
+        if self.tasks <= 0:
+            raise ValueError(f"tasks must be positive, got {self.tasks}")
+        if self.work_mips <= 0:
+            raise ValueError("work_mips must be positive")
+        if self.checkpoint_every_supersteps < 0:
+            raise ValueError("checkpoint interval must be >= 0")
+        if self.kind == BSP and self.program is None:
+            raise ValueError("BSP applications must name a registered program")
+        if self.topology is not None and self.topology.total_nodes != self.tasks:
+            raise ValueError(
+                f"virtual topology covers {self.topology.total_nodes} nodes "
+                f"but the application has {self.tasks} tasks"
+            )
+        if self.preference:
+            Preference(self.preference)
+
+    def preference_rank(self) -> Preference:
+        """The parsed preference (constant 0 when none was given)."""
+        return Preference(self.preference)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, marshallable as an ORB variant."""
+        topology = None
+        if self.topology is not None:
+            topology = {
+                "inter_bandwidth_mbps": self.topology.inter_bandwidth_mbps,
+                "groups": [
+                    {
+                        "count": g.count,
+                        "intra_bandwidth_mbps": g.intra_bandwidth_mbps,
+                        "requirements": g.requirements.to_dict(),
+                    }
+                    for g in self.topology.groups
+                ],
+            }
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "tasks": self.tasks,
+            "work_mips": self.work_mips,
+            "requirements": self.requirements.to_dict(),
+            "preference": self.preference,
+            "topology": topology,
+            "program": self.program,
+            "checkpoint_every_supersteps": self.checkpoint_every_supersteps,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ApplicationSpec":
+        data = dict(data)
+        data["requirements"] = ResourceRequirements.from_dict(
+            data.get("requirements", {})
+        )
+        topology = data.get("topology")
+        if topology is not None:
+            data["topology"] = VirtualTopologyRequest(
+                groups=tuple(
+                    NodeGroupRequest(
+                        count=g["count"],
+                        intra_bandwidth_mbps=g["intra_bandwidth_mbps"],
+                        requirements=ResourceRequirements.from_dict(
+                            g["requirements"]
+                        ),
+                    )
+                    for g in topology["groups"]
+                ),
+                inter_bandwidth_mbps=topology["inter_bandwidth_mbps"],
+            )
+        return cls(**data)

@@ -1,0 +1,182 @@
+"""Synthetic workload generators.
+
+Experiment harnesses and examples share these builders instead of
+hand-rolling submission loops: a bag of independent tasks, a steady
+Poisson-ish stream, a diurnal stream (submissions follow working hours,
+as real users do), and a mixed sequential+BSP campaign.
+
+Generators do not submit anything themselves; they return
+:class:`SubmissionPlan` objects — (time, ApplicationSpec) pairs — that a
+driver replays against any grid (or baseline system), keeping workload
+definitions system-neutral for head-to-head comparisons.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from repro.apps.spec import ApplicationSpec, BSP, ResourceRequirements
+from repro.sim.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class PlannedSubmission:
+    """One application, to be submitted at an absolute simulated time."""
+
+    time: float
+    spec: ApplicationSpec
+
+
+@dataclass(frozen=True)
+class SubmissionPlan:
+    """An ordered batch of planned submissions."""
+
+    submissions: tuple
+
+    def __post_init__(self):
+        times = [s.time for s in self.submissions]
+        if times != sorted(times):
+            raise ValueError("submissions must be time-ordered")
+
+    def __len__(self) -> int:
+        return len(self.submissions)
+
+    def __iter__(self):
+        return iter(self.submissions)
+
+    @property
+    def total_work_mips(self) -> float:
+        return sum(
+            s.spec.work_mips * s.spec.tasks for s in self.submissions
+        )
+
+    def drive(self, submit: Callable, loop) -> list:
+        """Replay the plan: schedule each submission on the event loop.
+
+        ``submit`` is called with the spec at the planned time; returned
+        ids are collected into the list this method returns (filled in
+        as the simulation runs).
+        """
+        job_ids: list = []
+        for planned in self.submissions:
+            loop.schedule_at(
+                max(planned.time, loop.now),
+                lambda spec=planned.spec: job_ids.append(submit(spec)),
+            )
+        return job_ids
+
+
+def bag_of_tasks(
+    count: int,
+    work_mips: float,
+    submit_at: float = 0.0,
+    name: str = "bag",
+    requirements: Optional[ResourceRequirements] = None,
+    checkpoint_interval_s: float = 0.0,
+) -> SubmissionPlan:
+    """``count`` independent single-task jobs, all submitted at once."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    reqs = requirements if requirements is not None else ResourceRequirements()
+    return SubmissionPlan(tuple(
+        PlannedSubmission(submit_at, ApplicationSpec(
+            name=f"{name}-{i:03}", work_mips=work_mips, requirements=reqs,
+            metadata={"checkpoint_interval_s": checkpoint_interval_s},
+        ))
+        for i in range(count)
+    ))
+
+
+def steady_stream(
+    jobs_per_day: float,
+    duration_days: float,
+    work_mips: float,
+    seed: int = 0,
+    start: float = 0.0,
+    name: str = "stream",
+    checkpoint_interval_s: float = 900.0,
+) -> SubmissionPlan:
+    """Exponential inter-arrival times at a constant mean rate."""
+    if jobs_per_day <= 0 or duration_days <= 0:
+        raise ValueError("rates and durations must be positive")
+    rng = random.Random(seed)
+    mean_gap = SECONDS_PER_DAY / jobs_per_day
+    submissions = []
+    t = start
+    end = start + duration_days * SECONDS_PER_DAY
+    index = 0
+    while True:
+        t += rng.expovariate(1.0 / mean_gap)
+        if t >= end:
+            break
+        submissions.append(PlannedSubmission(t, ApplicationSpec(
+            name=f"{name}-{index:04}", work_mips=work_mips,
+            metadata={"checkpoint_interval_s": checkpoint_interval_s},
+        )))
+        index += 1
+    return SubmissionPlan(tuple(submissions))
+
+
+def diurnal_stream(
+    jobs_per_workday: int,
+    duration_days: int,
+    work_mips: float,
+    seed: int = 0,
+    start: float = 0.0,
+    name: str = "diurnal",
+    checkpoint_interval_s: float = 900.0,
+) -> SubmissionPlan:
+    """Users submit during working hours (9-18, Mon-Fri), like real labs."""
+    if jobs_per_workday <= 0 or duration_days <= 0:
+        raise ValueError("rates and durations must be positive")
+    rng = random.Random(seed)
+    submissions = []
+    index = 0
+    for day in range(duration_days):
+        day_start = start + day * SECONDS_PER_DAY
+        dow = int(day_start // SECONDS_PER_DAY) % 7
+        if dow >= 5:
+            continue
+        times = sorted(
+            day_start + SECONDS_PER_HOUR * rng.uniform(9.0, 18.0)
+            for _ in range(jobs_per_workday)
+        )
+        for t in times:
+            submissions.append(PlannedSubmission(t, ApplicationSpec(
+                name=f"{name}-{index:04}", work_mips=work_mips,
+                metadata={"checkpoint_interval_s": checkpoint_interval_s},
+            )))
+            index += 1
+    return SubmissionPlan(tuple(submissions))
+
+
+def mixed_campaign(
+    sequential_jobs: int,
+    bsp_jobs: int,
+    bsp_tasks: int,
+    work_mips: float,
+    submit_at: float = 0.0,
+    supersteps: int = 8,
+    program: str = "kernel",
+    seed: int = 0,
+) -> SubmissionPlan:
+    """The E8-style mix: bag-of-tasks plus communicating BSP gangs."""
+    rng = random.Random(seed)
+    submissions = [
+        PlannedSubmission(submit_at, ApplicationSpec(
+            name=f"seq-{i:03}", work_mips=work_mips,
+            metadata={"checkpoint_interval_s": 900.0},
+        ))
+        for i in range(sequential_jobs)
+    ]
+    for i in range(bsp_jobs):
+        submissions.append(PlannedSubmission(submit_at, ApplicationSpec(
+            name=f"bsp-{i:03}", kind=BSP, tasks=bsp_tasks, program=program,
+            work_mips=work_mips, checkpoint_every_supersteps=2,
+            metadata={"supersteps": supersteps,
+                      "superstep_comm_bytes": 100_000},
+        )))
+    rng.shuffle(submissions)
+    return SubmissionPlan(tuple(
+        sorted(submissions, key=lambda s: s.time)
+    ))

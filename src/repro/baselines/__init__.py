@@ -1,0 +1,20 @@
+"""Baseline systems from the paper's Related Work section.
+
+The paper positions InteGrade against Condor (matchmaking, vacate-on-
+owner-return, limited parallel support) and SETI@home/BOINC (pull-based
+work units, no inter-node communication).  These baselines run on the
+same simulated workstations so the comparisons in experiment E8 measure
+scheduling/communication *models*, not substrate differences.
+"""
+
+from repro.baselines.condor import CondorJob, CondorPool
+from repro.baselines.boinc import BoincProject, WorkUnit
+from repro.baselines.simple import OptimisticGrm
+
+__all__ = [
+    "CondorJob",
+    "CondorPool",
+    "BoincProject",
+    "WorkUnit",
+    "OptimisticGrm",
+]

@@ -1,0 +1,206 @@
+"""A BOINC-style volunteer computing project.
+
+The behaviours the paper contrasts against (Section 2):
+
+* clients **pull** work units from a central server on their own
+  schedule — the server never pushes or negotiates;
+* **no inter-node communication**: applications must decompose into
+  independent work units ("negligible data dependencies between its
+  nodes"); parallel/BSP applications are rejected at submission;
+* **redundant computation**: each work unit is issued ``quorum`` times
+  and validated when enough matching results return;
+* clients compute only while their owner is away and checkpoint locally,
+  so a pause loses no work (but a detached client's unit is reissued
+  after a deadline).
+"""
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.spec import ApplicationSpec, SEQUENTIAL
+from repro.sim.events import EventLoop
+from repro.sim.workstation import Workstation
+
+DEFAULT_CONNECT_INTERVAL = 600.0
+DEFAULT_TICK = 30.0
+DEFAULT_DEADLINE = 7 * 24 * 3600.0
+
+
+class UnsupportedApplication(Exception):
+    """BOINC cannot run applications whose tasks communicate."""
+
+
+@dataclass
+class WorkUnit:
+    """One unit of independent work, replicated ``quorum`` times."""
+
+    unit_id: str
+    job_id: str
+    work_mips: float
+    quorum: int
+    results: int = 0
+    issued: int = 0
+    validated: bool = False
+    deadline_at: dict = field(default_factory=dict)   # client -> deadline
+
+
+@dataclass
+class _Client:
+    workstation: Workstation
+    unit: Optional[WorkUnit] = None
+    progress_mips: float = 0.0
+    next_connect: float = 0.0
+    results_returned: int = 0
+
+
+@dataclass
+class BoincJob:
+    job_id: str
+    spec: ApplicationSpec
+    submitted_at: float
+    units: list = field(default_factory=list)
+    completed_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+
+class BoincProject:
+    """The server plus its registered volunteer clients."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        tick: float = DEFAULT_TICK,
+        deadline: float = DEFAULT_DEADLINE,
+    ):
+        self._loop = loop
+        self._clients: dict[str, _Client] = {}
+        self._jobs: dict[str, BoincJob] = {}
+        self._units: list[WorkUnit] = []
+        self._ids = itertools.count()
+        self.deadline = deadline
+        self.units_issued = 0
+        self.results_received = 0
+        self.redundant_results = 0
+        loop.every(tick, self._tick)
+        self._tick_interval = tick
+
+    # -- project management ------------------------------------------------------
+
+    def add_client(
+        self,
+        workstation: Workstation,
+        connect_interval: float = DEFAULT_CONNECT_INTERVAL,
+    ) -> None:
+        """Register a volunteer machine that polls for work."""
+        if workstation.name in self._clients:
+            raise ValueError(f"client {workstation.name!r} already attached")
+        client = _Client(workstation)
+        self._clients[workstation.name] = client
+        self._loop.every(
+            connect_interval,
+            lambda c=client: self._connect(c),
+            start_after=connect_interval,
+        )
+
+    def submit(self, spec: ApplicationSpec, quorum: int = 2) -> str:
+        """Split an application into replicated work units."""
+        if spec.kind != SEQUENTIAL:
+            raise UnsupportedApplication(
+                "BOINC work units cannot communicate; "
+                f"{spec.kind!r} applications are not supported"
+            )
+        if quorum < 1:
+            raise ValueError("quorum must be >= 1")
+        job_id = f"boinc{next(self._ids)}"
+        job = BoincJob(job_id, spec, self._loop.now)
+        for i in range(spec.tasks):
+            unit = WorkUnit(
+                f"{job_id}.u{i}", job_id, spec.work_mips, quorum
+            )
+            job.units.append(unit)
+            self._units.append(unit)
+        self._jobs[job_id] = job
+        return job_id
+
+    def job(self, job_id: str) -> BoincJob:
+        return self._jobs[job_id]
+
+    # -- the client-server protocol --------------------------------------------------
+
+    def _next_unit_for(self, client: _Client) -> Optional[WorkUnit]:
+        for unit in self._units:
+            if unit.validated:
+                continue
+            if client.workstation.name in unit.deadline_at:
+                continue   # one copy per client (result validation needs
+                           # independent hosts)
+            if self._needs_issue(unit):
+                return unit
+        return None
+
+    def _needs_issue(self, unit: WorkUnit) -> bool:
+        """More copies needed?  Results plus live in-flight < quorum."""
+        now = self._loop.now
+        in_flight = sum(
+            1 for deadline in unit.deadline_at.values() if deadline >= now
+        )
+        return unit.results + in_flight < unit.quorum
+
+    def _connect(self, client: _Client) -> None:
+        """A client's periodic scheduler RPC: report and/or fetch."""
+        if client.unit is not None:
+            return
+        unit = self._next_unit_for(client)
+        if unit is None:
+            return
+        unit.issued += 1
+        unit.deadline_at[client.workstation.name] = self._loop.now + self.deadline
+        client.unit = unit
+        client.progress_mips = 0.0
+        self.units_issued += 1
+
+    def _tick(self) -> None:
+        for client in self._clients.values():
+            unit = client.unit
+            if unit is None:
+                continue
+            # Owner present => computation pauses (local checkpoint keeps
+            # the progress); owner away => full speed.
+            if not client.workstation.owner_present:
+                client.progress_mips += (
+                    client.workstation.machine.spec.mips * self._tick_interval
+                )
+            if client.progress_mips >= unit.work_mips:
+                self._report(client, unit)
+
+    def _report(self, client: _Client, unit: WorkUnit) -> None:
+        client.unit = None
+        client.results_returned += 1
+        self.results_received += 1
+        # A delivered copy is no longer in flight, but the host stays
+        # blocked from ever receiving this unit again (quorum results
+        # must come from independent hosts).
+        unit.deadline_at[client.workstation.name] = -1.0
+        if unit.validated:
+            self.redundant_results += 1
+            return
+        unit.results += 1
+        if unit.results >= unit.quorum:
+            unit.validated = True
+            self._maybe_complete(self._jobs[unit.job_id])
+
+    def _maybe_complete(self, job: BoincJob) -> None:
+        if all(unit.validated for unit in job.units):
+            job.completed_at = self._loop.now
+
+    # -- monitoring ----------------------------------------------------------------------
+
+    def progress(self, job_id: str) -> float:
+        job = self._jobs[job_id]
+        if not job.units:
+            return 1.0
+        return sum(u.validated for u in job.units) / len(job.units)

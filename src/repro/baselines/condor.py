@@ -1,0 +1,263 @@
+"""A Condor-style cycle scavenger.
+
+Faithful to the behaviours the paper contrasts against (Section 2):
+
+* ClassAd **matchmaking**: machines advertise properties plus a START
+  constraint; jobs advertise requirements; the matchmaker pairs them.
+* **Vacate on owner return**: "Condor - A Hunter of Idle Workstations" —
+  a claimed machine whose owner comes back kicks the job off (with its
+  checkpoint, when the job was built with the checkpoint library).
+* **Limited parallel support**: parallel (gang) jobs may only be matched
+  to *partially-reserved* (dedicated) machines, per Wright 2001 — on a
+  pool of pure desktops they simply wait.
+"""
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.constraints import Constraint, Preference
+from repro.apps.spec import ApplicationSpec, SEQUENTIAL
+from repro.sim.events import EventLoop
+from repro.sim.workstation import Workstation
+
+DEFAULT_NEGOTIATION_INTERVAL = 60.0
+DEFAULT_TICK = 30.0
+
+#: Classic Condor START policy: owner away and no recent keyboard.
+DEFAULT_START = "owner_active == false"
+
+
+@dataclass
+class CondorJob:
+    """One queued job (a cluster of ``tasks`` identical processes).
+
+    ``rank`` is the ClassAd Rank expression: among eligible machines,
+    higher rank is matched first (e.g. ``"mips"`` for fastest-first).
+    """
+
+    job_id: str
+    spec: ApplicationSpec
+    submitted_at: float
+    checkpointed: bool = True          # built with the checkpoint library?
+    rank: str = ""
+    tasks_remaining: list = field(default_factory=list)
+    completed_at: Optional[float] = None
+    evictions: int = 0
+    wasted_mips: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+
+@dataclass
+class _MachineSlot:
+    workstation: Workstation
+    dedicated: bool
+    start: Constraint
+    claimed_by: Optional[tuple] = None     # (job, task_index)
+    progress_mips: float = 0.0
+    checkpoint_mips: float = 0.0
+
+
+@dataclass
+class _TaskRef:
+    index: int
+    work_mips: float
+    progress_mips: float = 0.0
+
+
+class CondorPool:
+    """The matchmaker plus its machine and job queues."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        negotiation_interval: float = DEFAULT_NEGOTIATION_INTERVAL,
+        tick: float = DEFAULT_TICK,
+        checkpoint_interval_s: float = 1800.0,
+    ):
+        self._loop = loop
+        self._machines: dict[str, _MachineSlot] = {}
+        self._queue: list[CondorJob] = []
+        self._jobs: dict[str, CondorJob] = {}
+        self._ids = itertools.count()
+        self.checkpoint_interval_s = checkpoint_interval_s
+        self.matches = 0
+        self.evictions = 0
+        self.completions = 0
+        loop.every(negotiation_interval, self._negotiate)
+        loop.every(tick, self._tick)
+        self._tick_interval = tick
+        self._next_checkpoint = loop.now + checkpoint_interval_s
+
+    # -- pool management ------------------------------------------------------
+
+    def add_machine(
+        self,
+        workstation: Workstation,
+        dedicated: bool = False,
+        start: str = DEFAULT_START,
+    ) -> None:
+        """Advertise a machine to the matchmaker."""
+        if workstation.name in self._machines:
+            raise ValueError(f"machine {workstation.name!r} already in pool")
+        slot = _MachineSlot(workstation, dedicated, Constraint(start))
+        self._machines[workstation.name] = slot
+        workstation.on_owner_change(
+            lambda present, s=slot: self._owner_changed(s, present)
+        )
+
+    def submit(
+        self,
+        spec: ApplicationSpec,
+        checkpointed: bool = True,
+        rank: str = "",
+    ) -> str:
+        """Queue a job; parallel jobs need dedicated machines to match."""
+        if rank:
+            Preference(rank)   # fail fast on syntax errors
+        job_id = f"condor{next(self._ids)}"
+        job = CondorJob(
+            job_id, spec, self._loop.now, checkpointed, rank,
+            tasks_remaining=[
+                _TaskRef(i, spec.work_mips) for i in range(spec.tasks)
+            ],
+        )
+        self._jobs[job_id] = job
+        self._queue.append(job)
+        return job_id
+
+    def job(self, job_id: str) -> CondorJob:
+        return self._jobs[job_id]
+
+    @property
+    def idle_unclaimed(self) -> int:
+        return sum(
+            1 for s in self._machines.values()
+            if s.claimed_by is None and self._start_ok(s)
+        )
+
+    # -- matchmaking --------------------------------------------------------------
+
+    def _machine_ad(self, slot: _MachineSlot) -> dict:
+        spec = slot.workstation.machine.spec
+        return {
+            "node": slot.workstation.name,
+            "mips": spec.mips,
+            "ram_mb": spec.ram_mb,
+            "disk_mb": spec.disk_mb,
+            "os": spec.os,
+            "arch": spec.arch,
+            "owner_active": slot.workstation.owner_present,
+            "dedicated": slot.dedicated,
+            "cpu_free": 0.0 if slot.workstation.owner_present else 1.0,
+            "mem_free_mb": spec.ram_mb - slot.workstation.machine.owner_mem_mb,
+            "disk_free_mb": spec.disk_mb,
+            "net_mbps": spec.net_mbps,
+            "net_free_mbps": slot.workstation.machine.net_free_mbps(),
+        }
+
+    def _start_ok(self, slot: _MachineSlot) -> bool:
+        return slot.start.matches(self._machine_ad(slot))
+
+    def _eligible(self, job: CondorJob, slot: _MachineSlot) -> bool:
+        if slot.claimed_by is not None:
+            return False
+        if job.spec.kind != SEQUENTIAL and not slot.dedicated:
+            return False    # parallel universe needs reserved nodes
+        if not self._start_ok(slot):
+            return False
+        return job.spec.requirements.satisfied_by(self._machine_ad(slot))
+
+    def _negotiate(self) -> None:
+        for job in list(self._queue):
+            if not job.tasks_remaining:
+                continue
+            free = [
+                s for s in self._machines.values() if self._eligible(job, s)
+            ]
+            if job.rank:
+                ranker = Preference(job.rank)
+                free.sort(
+                    key=lambda s: ranker.score(self._machine_ad(s)),
+                    reverse=True,
+                )
+            if job.spec.kind != SEQUENTIAL:
+                # Gang semantics: all remaining processes start together.
+                if len(free) < len(job.tasks_remaining):
+                    continue
+                for task, slot in zip(list(job.tasks_remaining), free):
+                    self._claim(slot, job, task)
+            else:
+                for slot in free:
+                    if not job.tasks_remaining:
+                        break
+                    self._claim(slot, job, job.tasks_remaining[0])
+
+    def _claim(self, slot: _MachineSlot, job: CondorJob, task: _TaskRef) -> None:
+        job.tasks_remaining.remove(task)
+        slot.claimed_by = (job, task)
+        slot.progress_mips = task.progress_mips
+        slot.checkpoint_mips = task.progress_mips
+        self.matches += 1
+
+    # -- execution -------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        now = self._loop.now
+        checkpoint_due = now >= self._next_checkpoint
+        if checkpoint_due:
+            self._next_checkpoint = now + self.checkpoint_interval_s
+        for slot in self._machines.values():
+            entry = slot.claimed_by
+            if entry is None:
+                continue
+            job, task = entry
+            # Condor runs the job at full speed while the owner is away;
+            # there is no fractional-share mode on opportunistic nodes.
+            if not slot.workstation.owner_present:
+                slot.progress_mips += (
+                    slot.workstation.machine.spec.mips * self._tick_interval
+                )
+            if checkpoint_due and job.checkpointed:
+                slot.checkpoint_mips = slot.progress_mips
+            if slot.progress_mips >= job.spec.work_mips:
+                self._complete(slot, job, task)
+
+    def _complete(self, slot: _MachineSlot, job: CondorJob, task: _TaskRef) -> None:
+        slot.claimed_by = None
+        self.completions += 1
+        still_running = any(
+            s.claimed_by is not None and s.claimed_by[0] is job
+            for s in self._machines.values()
+        )
+        if not job.tasks_remaining and not still_running:
+            job.completed_at = self._loop.now
+            if job in self._queue:
+                self._queue.remove(job)
+
+    def _owner_changed(self, slot: _MachineSlot, present: bool) -> None:
+        if not present or slot.claimed_by is None:
+            return
+        job, task = slot.claimed_by
+        slot.claimed_by = None
+        self.evictions += 1
+        job.evictions += 1
+        resume = slot.checkpoint_mips if job.checkpointed else 0.0
+        job.wasted_mips += max(0.0, slot.progress_mips - resume)
+        task.progress_mips = resume
+        job.tasks_remaining.append(task)
+        if job.spec.kind != SEQUENTIAL:
+            # A lost gang member aborts the whole gang (no parallel
+            # checkpointing, per the paper's account of 2003-era Condor).
+            for other in self._machines.values():
+                entry = other.claimed_by
+                if entry is not None and entry[0] is job:
+                    other.claimed_by = None
+                    job.wasted_mips += other.progress_mips
+                    entry[1].progress_mips = 0.0
+                    job.tasks_remaining.append(entry[1])
+            for member in job.tasks_remaining:
+                member.progress_mips = 0.0

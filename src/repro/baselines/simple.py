@@ -1,0 +1,39 @@
+"""Ablation variants of the InteGrade GRM.
+
+:class:`OptimisticGrm` answers the A1 ablation: what if the GRM treated
+its (possibly stale) Trader contents as the truth instead of a *hint*?
+It asks only the single best-ranked node per scheduling pass; a refusal
+(stale offer) costs a full scheduling interval instead of moving down
+the candidate list.  The paper's negotiate-then-reserve protocol is the
+default GRM behaviour; E2/A1 quantify the difference.
+"""
+
+from repro.core.grm import Grm
+
+
+class OptimisticGrm(Grm):
+    """A GRM that trusts the hint: one candidate, no fallback."""
+
+    def _place_task(self, job, task, exclude=()):
+        from repro.core.scheduler import ScheduleContext
+
+        ctx = ScheduleContext(
+            spec=job.spec,
+            remaining_mips=task.remaining_mips,
+            now=self._loop.now,
+            gupa=self.gupa,
+        )
+        offers = [
+            o for o in self._offers_for(job.spec)
+            if o["node"] not in exclude
+        ]
+        ordered = self.policy.order(offers, ctx)
+        if not ordered:
+            return False
+        # Exactly one attempt: stale information means a lost pass.
+        node = ordered[0]["node"]
+        if self._reserve_on(node, job, task):
+            if self._launch_on(node, job, task):
+                return True
+            self._cancel_reservation(node, task.task_id)
+        return False

@@ -1,0 +1,45 @@
+"""BSP parallel programming support.
+
+The paper adopts Valiant's Bulk Synchronous Parallel model "imposing
+frequent synchronizations among application nodes" (Section 3), because
+superstep boundaries are natural checkpoint/migration points.
+
+Two layers:
+
+* :mod:`repro.bsp.runtime` — a real, executable BSP library (processes,
+  supersteps, BSMP message passing, DRMA put/get).  Example applications
+  compute actual results with it.
+* :mod:`repro.bsp.gridexec` — the grid-side coordinator that paces a BSP
+  job's tasks through supersteps on InteGrade nodes, inserting
+  communication delays and superstep-boundary checkpoints.
+"""
+
+from repro.bsp.runtime import BspError, BspRun, run_bsp
+from repro.bsp.process import BspContext
+from repro.bsp.gridexec import BspGridCoordinator
+from repro.bsp.programs import (
+    all_reduce,
+    block_range,
+    broadcast,
+    gather_to_root,
+    prefix_sums,
+    reduce_to_root,
+    sample_sort,
+    stencil_1d,
+)
+
+__all__ = [
+    "BspError",
+    "BspRun",
+    "run_bsp",
+    "BspContext",
+    "BspGridCoordinator",
+    "all_reduce",
+    "block_range",
+    "broadcast",
+    "gather_to_root",
+    "prefix_sums",
+    "reduce_to_root",
+    "sample_sort",
+    "stencil_1d",
+]

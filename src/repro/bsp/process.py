@@ -1,0 +1,74 @@
+"""The per-process BSP API handed to user code."""
+
+from typing import Any
+
+from repro.bsp.drma import Registers
+from repro.bsp.messages import MessageBuffers
+
+
+class BspContext:
+    """What a BSP process sees: its pid, messaging, and registered memory.
+
+    A process function receives one of these as its first argument::
+
+        def program(bsp, n):
+            local = compute_part(bsp.pid, bsp.nprocs, n)
+            bsp.send(0, local)
+            bsp.sync()
+            if bsp.pid == 0:
+                return sum(bsp.messages())
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        nprocs: int,
+        buffers: MessageBuffers,
+        registers: Registers,
+        sync_callback,
+    ):
+        self.pid = pid
+        self.nprocs = nprocs
+        self._buffers = buffers
+        self._registers = registers
+        self._sync = sync_callback
+        self.superstep = 0
+
+    # -- BSMP ---------------------------------------------------------------
+
+    def send(self, dest: int, payload: Any) -> None:
+        """Send a message, delivered to ``dest`` after the next sync."""
+        self._buffers.send(self.pid, dest, payload)
+
+    def messages(self) -> list:
+        """Messages delivered to this process at the last sync."""
+        return list(self._buffers.inbox(self.pid))
+
+    # -- DRMA -----------------------------------------------------------------
+
+    def register(self, name: str, value: Any) -> None:
+        """Register a named variable others can put/get."""
+        self._registers.register(self.pid, name, value)
+
+    def read(self, name: str) -> Any:
+        """Read this process's own registered variable (live value)."""
+        return self._registers.local_read(self.pid, name)
+
+    def write(self, name: str, value: Any) -> None:
+        """Write this process's own registered variable."""
+        self._registers.local_write(self.pid, name, value)
+
+    def get(self, owner: int, name: str) -> Any:
+        """Read ``owner``'s variable as of the last synchronisation."""
+        return self._registers.get(owner, name)
+
+    def put(self, owner: int, name: str, value: Any) -> None:
+        """Write ``owner``'s variable, effective at the next sync."""
+        self._registers.put(self.pid, owner, name, value)
+
+    # -- synchronisation ----------------------------------------------------------
+
+    def sync(self) -> None:
+        """End the superstep: barrier + message/put delivery."""
+        self._sync()
+        self.superstep += 1

@@ -1,0 +1,154 @@
+"""A library of classic BSP kernels.
+
+Ready-made, tested building blocks for the "broad range of parallel
+applications" the paper targets.  Every kernel is a plain BSP program
+(first argument: :class:`~repro.bsp.process.BspContext`), runnable with
+:func:`~repro.bsp.runtime.run_bsp` and registrable for grid execution
+via :mod:`repro.apps.registry`.
+
+Collectives follow BSP costing conventions: ``reduce_to_root`` is one
+superstep; ``broadcast`` and ``all_reduce`` two; ``prefix_sums`` uses a
+logarithmic pointer-doubling schedule; ``sample_sort`` is the classic
+three-superstep distribution sort.
+"""
+
+import operator
+from functools import reduce as _reduce
+
+
+def block_range(pid: int, nprocs: int, n: int) -> range:
+    """The contiguous block of indices process ``pid`` owns."""
+    return range(pid * n // nprocs, (pid + 1) * n // nprocs)
+
+
+def reduce_to_root(bsp, value, op=operator.add, root: int = 0):
+    """Combine every process's ``value`` at ``root`` (one superstep).
+
+    Returns the reduction on ``root`` and None elsewhere.
+    """
+    bsp.send(root, value)
+    bsp.sync()
+    if bsp.pid == root:
+        return _reduce(op, bsp.messages())
+    return None
+
+
+def broadcast(bsp, value, root: int = 0):
+    """Deliver ``root``'s ``value`` to every process (two supersteps)."""
+    if bsp.pid == root:
+        for other in range(bsp.nprocs):
+            if other != root:
+                bsp.send(other, value)
+    bsp.sync()
+    if bsp.pid == root:
+        return value
+    (received,) = bsp.messages()
+    return received
+
+
+def all_reduce(bsp, value, op=operator.add, root: int = 0):
+    """Every process ends with the reduction of all values."""
+    total = reduce_to_root(bsp, value, op, root)
+    return broadcast(bsp, total, root)
+
+
+def prefix_sums(bsp, value, op=operator.add):
+    """Inclusive scan across pids by pointer doubling (log supersteps).
+
+    Process ``p`` returns op-fold of the values of processes 0..p.
+    Every process executes the same number of supersteps.
+    """
+    accumulator = value
+    distance = 1
+    while distance < bsp.nprocs:
+        if bsp.pid + distance < bsp.nprocs:
+            bsp.send(bsp.pid + distance, accumulator)
+        bsp.sync()
+        for received in bsp.messages():
+            accumulator = op(received, accumulator)
+        distance *= 2
+    return accumulator
+
+
+def gather_to_root(bsp, value, root: int = 0):
+    """Collect (pid, value) pairs at ``root``; returns the list in pid
+    order on ``root``, None elsewhere."""
+    bsp.send(root, (bsp.pid, value))
+    bsp.sync()
+    if bsp.pid == root:
+        pairs = sorted(bsp.messages())
+        return [v for _, v in pairs]
+    return None
+
+
+def sample_sort(bsp, block):
+    """Classic BSP distribution sort.
+
+    Each process contributes an unsorted ``block``; returns its slice of
+    the globally sorted sequence (slices concatenated in pid order are
+    the sorted whole).  Three communication supersteps: splitter
+    selection, all-to-all redistribution, and an alignment barrier.
+    """
+    p = bsp.nprocs
+    local = sorted(block)
+    # 1. Everyone sends p regular samples of its block to pid 0.
+    samples = [
+        local[(i * len(local)) // p] for i in range(p)
+    ] if local else []
+    bsp.send(0, samples)
+    bsp.sync()
+    # 2. pid 0 picks p-1 splitters and broadcasts them.
+    if bsp.pid == 0:
+        pooled = sorted(x for chunk in bsp.messages() for x in chunk)
+        splitters = [
+            pooled[((i + 1) * len(pooled)) // p] for i in range(p - 1)
+        ] if pooled else []
+        for other in range(1, p):
+            bsp.send(other, splitters)
+    bsp.sync()
+    if bsp.pid != 0:
+        (splitters,) = bsp.messages()
+    # 3. All-to-all: route each element to its destination bucket.
+    buckets = [[] for _ in range(p)]
+    for x in local:
+        dest = 0
+        while dest < len(splitters) and x >= splitters[dest]:
+            dest += 1
+        buckets[dest].append(x)
+    for dest in range(p):
+        bsp.send(dest, buckets[dest])
+    bsp.sync()
+    merged = sorted(x for chunk in bsp.messages() for x in chunk)
+    return merged
+
+
+def stencil_1d(bsp, block, steps, update):
+    """Iterated 1-D halo-exchange stencil.
+
+    ``block`` is this process's slice of the array; each step exchanges
+    boundary cells with the pid-neighbours and applies
+    ``update(left, centre, right)`` per cell (missing neighbours are
+    None at the domain edges).  Returns the final block after ``steps``
+    supersteps.
+    """
+    cells = list(block)
+    for _ in range(steps):
+        if bsp.pid > 0 and cells:
+            bsp.send(bsp.pid - 1, ("from_right", cells[0]))
+        if bsp.pid < bsp.nprocs - 1 and cells:
+            bsp.send(bsp.pid + 1, ("from_left", cells[-1]))
+        bsp.sync()
+        left_halo = None
+        right_halo = None
+        for tag, value in bsp.messages():
+            if tag == "from_left":
+                left_halo = value
+            else:
+                right_halo = value
+        new_cells = []
+        for i, centre in enumerate(cells):
+            left = cells[i - 1] if i > 0 else left_halo
+            right = cells[i + 1] if i < len(cells) - 1 else right_halo
+            new_cells.append(update(left, centre, right))
+        cells = new_cells
+    return cells

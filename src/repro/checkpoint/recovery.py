@@ -1,0 +1,60 @@
+"""Rollback recovery for parallel applications.
+
+For a BSP application, a checkpoint is only restorable if *every*
+process saved it — the globally consistent cut is a superstep boundary
+all members reached.  The recovery manager tracks per-process checkpoint
+sequence numbers and answers "which superstep can this job roll back
+to?", which the BSP grid executor uses after an eviction or crash.
+"""
+
+from typing import Optional
+
+
+class RecoveryManager:
+    """Tracks per-member checkpoints of one parallel job."""
+
+    def __init__(self, job_id: str, members: list):
+        if not members:
+            raise ValueError("a parallel job needs at least one member")
+        self.job_id = job_id
+        self.members = list(members)
+        self._checkpoints: dict[str, list] = {m: [] for m in self.members}
+        self.rollbacks = 0
+
+    def record_checkpoint(self, member: str, superstep: int) -> None:
+        """Note that ``member`` saved state at the end of ``superstep``."""
+        if member not in self._checkpoints:
+            raise KeyError(f"{member!r} is not a member of job {self.job_id}")
+        if superstep < 0:
+            raise ValueError("superstep must be >= 0")
+        history = self._checkpoints[member]
+        if history and superstep <= history[-1]:
+            raise ValueError(
+                f"{member}: checkpoint supersteps must increase "
+                f"({superstep} <= {history[-1]})"
+            )
+        history.append(superstep)
+
+    def consistent_superstep(self) -> Optional[int]:
+        """Latest superstep every member has checkpointed, or None."""
+        candidates = []
+        for member in self.members:
+            history = self._checkpoints[member]
+            if not history:
+                return None
+            candidates.append(set(history))
+        common = set.intersection(*candidates)
+        return max(common) if common else None
+
+    def rollback_point(self) -> int:
+        """Superstep to restart from: the consistent cut, or 0 (scratch)."""
+        self.rollbacks += 1
+        consistent = self.consistent_superstep()
+        return 0 if consistent is None else consistent
+
+    def prune_before(self, superstep: int) -> None:
+        """Drop checkpoint records older than ``superstep`` (GC)."""
+        for member in self.members:
+            self._checkpoints[member] = [
+                s for s in self._checkpoints[member] if s >= superstep
+            ]

@@ -1,0 +1,129 @@
+"""Checkpoint repositories.
+
+A store survives its writer: the LRM saves checkpoints into a
+cluster-level repository so that a task can be resumed on a *different*
+node after eviction or crash (migration, in the paper's terms).  The
+memory store backs simulations; the file store demonstrates the same
+interface against a real filesystem.
+"""
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.checkpoint.serializer import deserialize, serialize
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One saved checkpoint."""
+
+    task_id: str
+    sequence: int
+    time: float
+    data: bytes
+
+    def state(self) -> dict:
+        """Decode (and validate) the stored state."""
+        return deserialize(self.data)
+
+
+class MemoryCheckpointStore:
+    """In-memory repository keeping the latest checkpoint per task."""
+
+    def __init__(self, keep_history: int = 1):
+        if keep_history < 1:
+            raise ValueError("must keep at least one checkpoint")
+        self.keep_history = keep_history
+        self._records: dict[str, list[CheckpointRecord]] = {}
+        self._sequences: dict[str, int] = {}
+        self.bytes_written = 0
+        self.saves = 0
+
+    def save(self, task_id: str, state: dict, now: float) -> CheckpointRecord:
+        """Serialize and store a checkpoint; returns the record."""
+        sequence = self._sequences.get(task_id, 0) + 1
+        self._sequences[task_id] = sequence
+        record = CheckpointRecord(task_id, sequence, now, serialize(state))
+        history = self._records.setdefault(task_id, [])
+        history.append(record)
+        del history[:-self.keep_history]
+        self.bytes_written += len(record.data)
+        self.saves += 1
+        return record
+
+    def load_latest(self, task_id: str) -> Optional[CheckpointRecord]:
+        """Most recent checkpoint for the task, or None."""
+        history = self._records.get(task_id)
+        return history[-1] if history else None
+
+    def discard(self, task_id: str) -> None:
+        """Forget all checkpoints for a finished task."""
+        self._records.pop(task_id, None)
+        self._sequences.pop(task_id, None)
+
+    @property
+    def task_ids(self) -> list:
+        return sorted(self._records)
+
+
+_SAFE_TASK_RE = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+class FileCheckpointStore:
+    """Filesystem-backed repository: one file per task's latest checkpoint."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._sequences: dict[str, int] = {}
+        self.bytes_written = 0
+        self.saves = 0
+
+    def _path(self, task_id: str) -> str:
+        safe = _SAFE_TASK_RE.sub("_", task_id)
+        return os.path.join(self.directory, f"{safe}.ckpt")
+
+    def save(self, task_id: str, state: dict, now: float) -> CheckpointRecord:
+        sequence = self._sequences.get(task_id, 0) + 1
+        self._sequences[task_id] = sequence
+        data = serialize(state)
+        envelope = serialize(
+            {"task_id": task_id, "sequence": sequence, "time": now, "data": data}
+        )
+        path = self._path(task_id)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(envelope)
+        os.replace(tmp, path)    # atomic: a crash never leaves a torn file
+        self.bytes_written += len(envelope)
+        self.saves += 1
+        return CheckpointRecord(task_id, sequence, now, data)
+
+    def load_latest(self, task_id: str) -> Optional[CheckpointRecord]:
+        path = self._path(task_id)
+        if not os.path.exists(path):
+            return None
+        with open(path, "rb") as f:
+            envelope = deserialize(f.read())
+        return CheckpointRecord(
+            envelope["task_id"],
+            envelope["sequence"],
+            envelope["time"],
+            envelope["data"],
+        )
+
+    def discard(self, task_id: str) -> None:
+        self._sequences.pop(task_id, None)
+        path = self._path(task_id)
+        if os.path.exists(path):
+            os.remove(path)
+
+    @property
+    def task_ids(self) -> list:
+        names = []
+        for fname in os.listdir(self.directory):
+            if fname.endswith(".ckpt"):
+                names.append(fname[:-len(".ckpt")])
+        return sorted(names)

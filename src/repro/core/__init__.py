@@ -1,0 +1,71 @@
+"""InteGrade's core middleware — the components of Figure 1.
+
+* :class:`~repro.core.lrm.Lrm` / :class:`~repro.core.grm.Grm` — intra-cluster
+  resource management (Information Update + Reservation & Execution
+  protocols);
+* :class:`~repro.core.lupa.Lupa` / :class:`~repro.core.gupa.Gupa` — usage
+  pattern collection, clustering, and idle prediction;
+* :class:`~repro.core.ncc.NodeControlCenter` — the resource owner's policy;
+* :class:`~repro.core.asct.Asct` — application submission and monitoring;
+* :class:`~repro.core.hierarchy.ParentGrm` — the inter-cluster hierarchy;
+* :class:`~repro.core.grid.Grid` — the facade assembling all of it.
+"""
+
+from repro.core.asct import Asct, JobEvent
+from repro.core.grid import Grid, ClusterHandle, NodeHandle, DEDICATED_POLICY
+from repro.core.grm import Grm, GrmStats
+from repro.core.gupa import Gupa, UNKNOWN
+from repro.core.hierarchy import ClusterUplink, ParentGrm
+from repro.core.lrm import Lrm
+from repro.core.lupa import Lupa
+from repro.core.ncc import (
+    BlackoutWindow,
+    DEFAULT_POLICY,
+    NodeControlCenter,
+    SharingPolicy,
+    VACATE_POLICY,
+    thirty_percent_policy,
+)
+from repro.core.reservation import ReservationLedger
+from repro.core.scheduler import (
+    FastestFirstPolicy,
+    FirstFitPolicy,
+    PatternAwarePolicy,
+    POLICIES,
+    RandomPolicy,
+    ScheduleContext,
+    SchedulingPolicy,
+    plan_virtual_topology,
+)
+
+__all__ = [
+    "Asct",
+    "JobEvent",
+    "Grid",
+    "ClusterHandle",
+    "NodeHandle",
+    "DEDICATED_POLICY",
+    "Grm",
+    "GrmStats",
+    "Gupa",
+    "UNKNOWN",
+    "ClusterUplink",
+    "ParentGrm",
+    "Lrm",
+    "Lupa",
+    "BlackoutWindow",
+    "DEFAULT_POLICY",
+    "NodeControlCenter",
+    "SharingPolicy",
+    "VACATE_POLICY",
+    "thirty_percent_policy",
+    "ReservationLedger",
+    "FastestFirstPolicy",
+    "FirstFitPolicy",
+    "PatternAwarePolicy",
+    "POLICIES",
+    "RandomPolicy",
+    "ScheduleContext",
+    "SchedulingPolicy",
+    "plan_virtual_topology",
+]

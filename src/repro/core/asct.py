@@ -1,0 +1,75 @@
+"""Application Submission and Control Tool (ASCT).
+
+"The ASCT allows InteGrade users to submit applications for execution in
+the grid ... The user can also use the tool to monitor application
+progress" (Section 4).  The ASCT is both a client of the GRM and a
+servant (it receives ``job_event`` callbacks).
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.apps.spec import ApplicationSpec
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One notification received from the GRM."""
+
+    job_id: str
+    event: str
+    detail: str
+
+
+class Asct:
+    """A user's submission and monitoring endpoint."""
+
+    def __init__(self, grm_stub, own_ior: Optional[str] = None):
+        self._grm = grm_stub
+        self.ior = own_ior
+        self.events: list[JobEvent] = []
+        self.submitted: list[str] = []
+        self._listeners: list[Callable] = []
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, spec: ApplicationSpec) -> str:
+        """Submit an application; returns the grid-wide job id."""
+        job_id = self._grm.submit(spec.to_dict())
+        self.submitted.append(job_id)
+        if self.ior is not None:
+            self._grm.register_asct(job_id, self.ior)
+        return job_id
+
+    def status(self, job_id: str) -> dict:
+        """Current job status, as reported by the GRM."""
+        return self._grm.job_status(job_id)
+
+    def cancel(self, job_id: str) -> None:
+        """Cancel a job."""
+        self._grm.cancel_job(job_id)
+
+    def progress(self, job_id: str) -> float:
+        """Overall completion fraction in [0, 1]."""
+        return float(self.status(job_id)["progress"])
+
+    def is_done(self, job_id: str) -> bool:
+        """True once the job reached a terminal state."""
+        return self.status(job_id)["state"] in (
+            "completed", "failed", "cancelled",
+        )
+
+    # -- monitoring (servant operation + local listeners) ------------------------
+
+    def job_event(self, job_id: str, event: str, detail: str) -> None:
+        record = JobEvent(job_id, event, detail)
+        self.events.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    def on_event(self, listener: Callable) -> None:
+        """Subscribe a local callback to incoming job events."""
+        self._listeners.append(listener)
+
+    def events_for(self, job_id: str) -> list:
+        return [e for e in self.events if e.job_id == job_id]

@@ -1,0 +1,458 @@
+"""Grid facade: assembles Figure 1 on the simulator.
+
+One :class:`Grid` owns the event loop, the in-process ORB domain, and
+any number of clusters.  Each cluster gets a Cluster Manager node (GRM +
+GUPA + Trader + Naming on its own ORB); each workstation gets an LRM,
+an NCC, and — unless dedicated — a LUPA, on its own ORB.  All
+component-to-component traffic goes through ORB stubs, so protocol
+message counts and byte volumes are measured, not estimated.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.spec import ApplicationSpec, BSP
+from repro.checkpoint.store import MemoryCheckpointStore
+from repro.core.asct import Asct
+from repro.core.grm import Grm
+from repro.core.gupa import Gupa
+from repro.core.lrm import Lrm
+from repro.core.lupa import Lupa
+from repro.core.ncc import DEFAULT_POLICY, NodeControlCenter, SharingPolicy
+from repro.core.protocols import (
+    ASCT_INTERFACE,
+    GRM_INTERFACE,
+    GUPA_INTERFACE,
+    LRM_INTERFACE,
+)
+from repro.core.scheduler import POLICIES, SchedulingPolicy
+from repro.orb.core import Orb
+from repro.orb.naming import NamingService, NAMING_INTERFACE
+from repro.orb.transport import InProcDomain
+from repro.sim.clock import SECONDS_PER_DAY
+from repro.sim.events import EventLoop
+from repro.sim.machine import MachineSpec
+from repro.sim.network import NetworkTopology
+from repro.sim.rng import SeededStreams
+from repro.sim.usage import ALWAYS_IDLE, UsageProfile
+from repro.sim.workstation import Workstation
+
+#: Dedicated grid nodes share everything and never vacate.
+DEDICATED_POLICY = SharingPolicy(
+    cpu_cap_idle=1.0, cpu_cap_active=1.0, vacate_on_owner_return=False
+)
+
+DEFAULT_LUPA_UPLOAD_INTERVAL = SECONDS_PER_DAY
+
+
+@dataclass
+class NodeHandle:
+    """Everything attached to one grid node."""
+
+    name: str
+    cluster: str
+    workstation: Workstation
+    lrm: Lrm
+    ncc: NodeControlCenter
+    orb: Orb
+    lrm_ior: str
+    lupa: Optional[Lupa] = None
+    dedicated: bool = False
+
+
+@dataclass
+class ClusterHandle:
+    """Everything attached to one cluster's manager node."""
+
+    name: str
+    orb: Orb
+    grm: Grm
+    gupa: Gupa
+    naming: NamingService
+    network: NetworkTopology
+    grm_ior: str
+    gupa_ior: str
+    nodes: dict = field(default_factory=dict)
+    checkpoint_store: MemoryCheckpointStore = field(
+        default_factory=MemoryCheckpointStore
+    )
+
+
+class Grid:
+    """A complete InteGrade grid on simulated time."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        policy: str = "pattern_aware",
+        update_interval: float = 60.0,
+        tick_interval: float = 30.0,
+        schedule_interval: float = 30.0,
+        lupa_enabled: bool = True,
+        lupa_min_history_days: int = 7,
+        lupa_upload_interval: float = DEFAULT_LUPA_UPLOAD_INTERVAL,
+        holidays: Optional[set] = None,
+        programs=None,
+        auth_secret: Optional[bytes] = None,
+    ):
+        self.loop = EventLoop()
+        self.streams = SeededStreams(seed)
+        self.domain = InProcDomain()
+        self.clusters: dict[str, ClusterHandle] = {}
+        self.ascts: list[Asct] = []
+        self.policy_name = policy
+        self.update_interval = update_interval
+        self.tick_interval = tick_interval
+        self.schedule_interval = schedule_interval
+        self.lupa_enabled = lupa_enabled
+        self.lupa_min_history_days = lupa_min_history_days
+        self.lupa_upload_interval = lupa_upload_interval
+        self.holidays = holidays if holidays is not None else set()
+        from repro.apps.registry import DEFAULT_REGISTRY
+        self.programs = programs if programs is not None else DEFAULT_REGISTRY
+        # Optional cluster-membership authentication: with a secret set,
+        # every grid component signs its requests and every component
+        # refuses unsigned ones — a rogue ORB in the same process cannot
+        # submit, register, or evict (Section 3's authentication point).
+        self._credentials = None
+        self._keyring = None
+        if auth_secret is not None:
+            from repro.security.auth import Credentials, KeyRing
+            self._keyring = KeyRing()
+            self._keyring.add("integrade", auth_secret)
+            self._credentials = Credentials("integrade", auth_secret)
+        self._coordinators: dict[str, object] = {}
+        self._job_cluster: dict[str, str] = {}
+
+    def _make_orb(self, name: str) -> Orb:
+        """All grid ORBs share the membership credential (if any)."""
+        return Orb(
+            name,
+            domain=self.domain,
+            credentials=self._credentials,
+            keyring=self._keyring,
+            require_auth=self._keyring is not None,
+        )
+
+    # -- assembly -------------------------------------------------------------------
+
+    def _make_policy(self) -> SchedulingPolicy:
+        try:
+            policy_type = type(POLICIES[self.policy_name])
+        except KeyError:
+            raise ValueError(
+                f"unknown policy {self.policy_name!r}; "
+                f"choose from {sorted(POLICIES)}"
+            ) from None
+        if self.policy_name == "random":
+            return policy_type(rng=self.streams.stream("policy.random"))
+        return policy_type()
+
+    def add_cluster(
+        self,
+        name: str,
+        network: Optional[NetworkTopology] = None,
+        policy: Optional[SchedulingPolicy] = None,
+    ) -> ClusterHandle:
+        """Create a cluster with its manager node components."""
+        if name in self.clusters:
+            raise ValueError(f"cluster {name!r} already exists")
+        if network is None:
+            network = NetworkTopology()
+            network.add_segment(f"{name}-lan", bandwidth_mbps=100.0)
+        orb = self._make_orb(f"{name}-manager")
+        gupa = Gupa()
+        store = MemoryCheckpointStore()
+        grm = Grm(
+            self.loop,
+            orb,
+            cluster=name,
+            policy=policy if policy is not None else self._make_policy(),
+            gupa=gupa,
+            network=network,
+            checkpoint_store=store,
+            schedule_interval=self.schedule_interval,
+            update_interval_hint=self.update_interval,
+        )
+        naming = NamingService()
+        grm_ior = orb.activate(grm, GRM_INTERFACE, key=f"{name}/grm").to_string()
+        gupa_ior = orb.activate(gupa, GUPA_INTERFACE, key=f"{name}/gupa").to_string()
+        orb.activate(naming, NAMING_INTERFACE, key=f"{name}/naming")
+        naming.bind(f"{name}/grm", grm_ior)
+        naming.bind(f"{name}/gupa", gupa_ior)
+        handle = ClusterHandle(
+            name, orb, grm, gupa, naming, network, grm_ior, gupa_ior,
+            checkpoint_store=store,
+        )
+        self.clusters[name] = handle
+        return handle
+
+    def add_node(
+        self,
+        cluster: str,
+        name: str,
+        spec: Optional[MachineSpec] = None,
+        profile: UsageProfile = ALWAYS_IDLE,
+        sharing: SharingPolicy = DEFAULT_POLICY,
+        dedicated: bool = False,
+        segment: Optional[str] = None,
+        scheduling: str = "owner_first",
+    ) -> NodeHandle:
+        """Add a resource-provider (or dedicated) node to a cluster."""
+        handle = self._cluster(cluster)
+        if name in handle.nodes:
+            raise ValueError(f"node {name!r} already exists in {cluster!r}")
+        if dedicated:
+            profile = ALWAYS_IDLE
+            sharing = DEDICATED_POLICY
+        workstation = Workstation(
+            self.loop,
+            name,
+            spec=spec,
+            profile=profile,
+            rng=self.streams.stream(f"owner.{name}"),
+            holidays=self.holidays,
+            scheduling=scheduling,
+        )
+        ncc = NodeControlCenter(self.loop.clock, sharing)
+        orb = self._make_orb(f"{name}-orb")
+        lrm = Lrm(
+            self.loop,
+            workstation,
+            ncc,
+            checkpoint_store=handle.checkpoint_store,
+            update_interval=self.update_interval,
+            tick_interval=self.tick_interval,
+        )
+        lrm_ref = orb.activate(lrm, LRM_INTERFACE, key=f"{name}/lrm")
+        grm_stub = orb.stub(handle.grm_ior, GRM_INTERFACE)
+        lrm.attach_grm(grm_stub, lrm_ref.to_string())
+
+        lupa = None
+        if self.lupa_enabled and not dedicated:
+            machine = workstation.machine
+            lupa = Lupa(
+                self.loop,
+                name,
+                probe=lambda m=machine: 1.0 if (
+                    m.keyboard_active or m.owner_cpu >= 0.1
+                ) else 0.0,
+                min_history_days=self.lupa_min_history_days,
+                seed=self.streams.master_seed,
+            )
+            gupa_stub = orb.stub(handle.gupa_ior, GUPA_INTERFACE)
+            self.loop.every(
+                self.lupa_upload_interval,
+                lambda l=lupa, g=gupa_stub, n=name: g.upload_pattern(
+                    n, l.pattern()
+                ) if l.pattern() is not None else None,
+            )
+
+        segment_name = segment if segment is not None else f"{cluster}-lan"
+        if segment_name not in handle.network.segments:
+            handle.network.add_segment(segment_name)
+        handle.network.place(name, segment_name)
+
+        node = NodeHandle(
+            name, cluster, workstation, lrm, ncc, orb,
+            lrm_ref.to_string(), lupa, dedicated,
+        )
+        handle.nodes[name] = node
+        return node
+
+    def add_trace_node(
+        self,
+        cluster: str,
+        name: str,
+        events: list,
+        spec: Optional[MachineSpec] = None,
+        sharing: SharingPolicy = DEFAULT_POLICY,
+        segment: Optional[str] = None,
+        loop_trace: bool = True,
+    ) -> NodeHandle:
+        """Add a node whose owner replays a recorded activity trace.
+
+        Identical wiring to :meth:`add_node` (LRM, NCC, LUPA, ORB), but
+        the owner model is a :class:`~repro.sim.trace.TraceWorkstation`
+        — so experiments can run against captured traces instead of the
+        synthetic Markov owners.
+        """
+        from repro.sim.trace import TraceWorkstation
+
+        handle = self._cluster(cluster)
+        if name in handle.nodes:
+            raise ValueError(f"node {name!r} already exists in {cluster!r}")
+        workstation = TraceWorkstation(
+            self.loop, name, events, spec=spec, loop_trace=loop_trace
+        )
+        ncc = NodeControlCenter(self.loop.clock, sharing)
+        orb = self._make_orb(f"{name}-orb")
+        lrm = Lrm(
+            self.loop,
+            workstation,
+            ncc,
+            checkpoint_store=handle.checkpoint_store,
+            update_interval=self.update_interval,
+            tick_interval=self.tick_interval,
+        )
+        lrm_ref = orb.activate(lrm, LRM_INTERFACE, key=f"{name}/lrm")
+        grm_stub = orb.stub(handle.grm_ior, GRM_INTERFACE)
+        lrm.attach_grm(grm_stub, lrm_ref.to_string())
+
+        lupa = None
+        if self.lupa_enabled:
+            machine = workstation.machine
+            lupa = Lupa(
+                self.loop,
+                name,
+                probe=lambda m=machine: 1.0 if (
+                    m.keyboard_active or m.owner_cpu >= 0.1
+                ) else 0.0,
+                min_history_days=self.lupa_min_history_days,
+                seed=self.streams.master_seed,
+            )
+            gupa_stub = orb.stub(handle.gupa_ior, GUPA_INTERFACE)
+            self.loop.every(
+                self.lupa_upload_interval,
+                lambda l=lupa, g=gupa_stub, n=name: g.upload_pattern(
+                    n, l.pattern()
+                ) if l.pattern() is not None else None,
+            )
+
+        segment_name = segment if segment is not None else f"{cluster}-lan"
+        if segment_name not in handle.network.segments:
+            handle.network.add_segment(segment_name)
+        handle.network.place(name, segment_name)
+        node = NodeHandle(
+            name, cluster, workstation, lrm, ncc, orb,
+            lrm_ref.to_string(), lupa, False,
+        )
+        handle.nodes[name] = node
+        return node
+
+    def remove_node(self, cluster: str, name: str) -> None:
+        """A node leaves the grid: evict its work, withdraw its offer.
+
+        The paper's environment is dynamic — machines come and go.  Any
+        running tasks are evicted (and requeued by the GRM); the
+        workstation's owner model and all LRM timers stop.
+        """
+        handle = self._cluster(cluster)
+        node = handle.nodes.pop(name, None)
+        if node is None:
+            raise KeyError(f"no node {name!r} in cluster {cluster!r}")
+        node.lrm.detach()
+        if node.lupa is not None:
+            node.lupa.stop()
+        node.workstation.stop()
+        handle.grm.unregister_node(name)
+        handle.gupa.forget(name)
+        node.orb.shutdown()
+
+    def connect_clusters_to_parent(self, parent_name: str = "parent"):
+        """Build a two-level hierarchy over all current clusters."""
+        from repro.core.hierarchy import ClusterUplink, ParentGrm
+        from repro.core.protocols import PARENT_GRM_INTERFACE
+
+        orb = self._make_orb(f"{parent_name}-orb")
+        parent = ParentGrm(self.loop, orb, name=parent_name)
+        parent_ior = orb.activate(
+            parent, PARENT_GRM_INTERFACE, key=f"{parent_name}/grm"
+        ).to_string()
+        uplinks = []
+        for handle in self.clusters.values():
+            stub = handle.orb.stub(parent_ior, PARENT_GRM_INTERFACE)
+            uplinks.append(
+                ClusterUplink(self.loop, handle.grm, stub, handle.grm_ior)
+            )
+        return parent, uplinks
+
+    # -- submission -----------------------------------------------------------------
+
+    def make_asct(self, cluster: str, user: str = "user") -> Asct:
+        """Create a user node's submission tool against a cluster's GRM."""
+        handle = self._cluster(cluster)
+        orb = self._make_orb(f"{user}-asct{len(self.ascts)}")
+        grm_stub = orb.stub(handle.grm_ior, GRM_INTERFACE)
+        asct = Asct(grm_stub)
+        ref = orb.activate(asct, ASCT_INTERFACE)
+        asct.ior = ref.to_string()
+        self.ascts.append(asct)
+        return asct
+
+    def submit(self, spec: ApplicationSpec, cluster: Optional[str] = None) -> str:
+        """Submit an application; BSP jobs get a superstep coordinator."""
+        if cluster is None:
+            cluster = next(iter(self.clusters))
+        handle = self._cluster(cluster)
+        job_id = handle.grm.submit(spec.to_dict())
+        self._job_cluster[job_id] = cluster
+        if spec.kind == BSP:
+            from repro.bsp.gridexec import BspGridCoordinator
+
+            coordinator = BspGridCoordinator(
+                self.loop, handle.grm, handle.grm.job(job_id),
+                checkpoint_store=handle.checkpoint_store,
+                registry=self.programs,
+            )
+            handle.grm.register_coordinator(job_id, coordinator)
+            self._coordinators[job_id] = coordinator
+        return job_id
+
+    def coordinator(self, job_id: str):
+        return self._coordinators.get(job_id)
+
+    def job(self, job_id: str):
+        """The Job object for a submitted id (however it was submitted)."""
+        cluster = self._job_cluster.get(job_id)
+        if cluster is not None:
+            return self.clusters[cluster].grm.job(job_id)
+        for handle in self.clusters.values():   # ASCT-submitted jobs
+            try:
+                return handle.grm.job(job_id)
+            except KeyError:
+                continue
+        raise KeyError(f"unknown job {job_id!r}")
+
+    # -- running ----------------------------------------------------------------------
+
+    def run_for(self, seconds: float) -> None:
+        self.loop.run_for(seconds)
+
+    def run_until(self, when: float) -> None:
+        self.loop.run_until(when)
+
+    def wait_for_job(
+        self, job_id: str, max_seconds: float = 30 * SECONDS_PER_DAY,
+        step: float = 300.0,
+    ) -> bool:
+        """Advance simulated time until the job finishes (or give up)."""
+        job = self.job(job_id)
+        deadline = self.loop.now + max_seconds
+        while not job.done and self.loop.now < deadline:
+            self.loop.run_for(step)
+        return job.done
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def protocol_stats(self) -> dict:
+        """Aggregated ORB traffic across every node and manager."""
+        totals = {
+            "requests_sent": 0, "replies_received": 0,
+            "requests_received": 0, "bytes_sent": 0, "bytes_received": 0,
+            "requests_handled": 0,
+        }
+        orbs = []
+        for handle in self.clusters.values():
+            orbs.append(handle.orb)
+            orbs.extend(n.orb for n in handle.nodes.values())
+        for orb in orbs:
+            for key, value in orb.stats().items():
+                totals[key] += value
+        return totals
+
+    def _cluster(self, name: str) -> ClusterHandle:
+        handle = self.clusters.get(name)
+        if handle is None:
+            raise KeyError(f"unknown cluster {name!r}")
+        return handle

@@ -1,0 +1,671 @@
+"""Global Resource Manager (GRM).
+
+One per cluster.  Stores the LRMs' periodic status reports in a Trading
+service (as the prototype did with the JacORB Trader), selects candidate
+nodes for submitted applications, and drives the Resource Reservation
+and Execution Protocol: "the GRM uses its local information about the
+cluster state as a hint ... after that, the GRM engages in a direct
+negotiation with the selected nodes" (Section 4).
+"""
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.apps.job import Job, JobState, Task, TaskState
+from repro.apps.spec import ApplicationSpec, BSP
+from repro.checkpoint.store import MemoryCheckpointStore
+from repro.core.gupa import Gupa
+from repro.core.protocols import ASCT_INTERFACE, LRM_INTERFACE
+from repro.core.scheduler import (
+    FirstFitPolicy,
+    ScheduleContext,
+    SchedulingPolicy,
+    plan_virtual_topology,
+)
+from repro.orb.core import Orb
+from repro.orb.exceptions import OrbError
+from repro.orb.trading import TradingService
+from repro.sim.events import EventLoop
+from repro.sim.network import NetworkTopology
+
+DEFAULT_SCHEDULE_INTERVAL = 30.0
+DEFAULT_RESERVATION_LEASE = 120.0
+DEFAULT_MAX_NEGOTIATIONS = 8
+DEFAULT_STALE_FACTOR = 3.5
+
+
+@dataclass
+class NodeRecord:
+    """Everything the GRM tracks about one registered node."""
+
+    node: str
+    lrm_ior: str
+    lrm_stub: object
+    offer_id: str
+    last_status: dict
+    last_seen: float
+    alive: bool = True
+
+
+@dataclass
+class GrmStats:
+    """Counters the experiments report."""
+
+    updates_received: int = 0
+    negotiation_rounds: int = 0
+    reservations_refused: int = 0
+    placements: int = 0
+    gang_placements: int = 0
+    gang_failures: int = 0
+    evictions_handled: int = 0
+    completions: int = 0
+    jobs_submitted: int = 0
+    jobs_forwarded: int = 0
+    nodes_declared_dead: int = 0
+
+
+class Grm:
+    """The servant implementing ``integrade/Grm`` for one cluster."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        orb: Orb,
+        cluster: str = "cluster0",
+        policy: Optional[SchedulingPolicy] = None,
+        gupa: Optional[Gupa] = None,
+        network: Optional[NetworkTopology] = None,
+        checkpoint_store: Optional[MemoryCheckpointStore] = None,
+        schedule_interval: float = DEFAULT_SCHEDULE_INTERVAL,
+        reservation_lease: float = DEFAULT_RESERVATION_LEASE,
+        max_negotiations: int = DEFAULT_MAX_NEGOTIATIONS,
+        update_interval_hint: float = 60.0,
+    ):
+        self._loop = loop
+        self._orb = orb
+        self.cluster = cluster
+        self.policy = policy if policy is not None else FirstFitPolicy()
+        self.gupa = gupa
+        self.network = network
+        self.store = checkpoint_store
+        self.trader = TradingService()
+        self.stats = GrmStats()
+
+        self._nodes: dict[str, NodeRecord] = {}
+        self._jobs: dict[str, Job] = {}
+        self._tasks: dict[str, tuple] = {}     # task_id -> (job, task)
+        self._pending: deque = deque()
+        self._coordinators: dict[str, object] = {}   # job_id -> BSP coordinator
+        self._asct_stubs: dict[str, object] = {}     # job_id -> callback stub
+        self._job_listeners: list[Callable] = []
+        self._parent = None
+        self._job_ids = itertools.count()
+        self._reservation_lease = reservation_lease
+        self._max_negotiations = max_negotiations
+        self._stale_after = update_interval_hint * DEFAULT_STALE_FACTOR
+        self._schedule_task = loop.every(schedule_interval, self._schedule_pass)
+        self._liveness_task = loop.every(
+            self._stale_after, self._check_liveness
+        )
+
+    # -- wiring -------------------------------------------------------------------
+
+    def set_parent(self, parent_stub) -> None:
+        """Attach the parent GRM for wide-area forwarding."""
+        self._parent = parent_stub
+
+    def register_coordinator(self, job_id: str, coordinator) -> None:
+        """Attach a gang/BSP coordinator for a job's pacing callbacks."""
+        self._coordinators[job_id] = coordinator
+
+    def register_asct_stub(self, job_id: str, asct_stub) -> None:
+        """Attach an already-built ASCT stub (local wiring and tests)."""
+        self._asct_stubs[job_id] = asct_stub
+
+    # servant operation
+    def register_asct(self, job_id: str, asct_ior: str) -> None:
+        """Attach the submitting ASCT for progress notifications."""
+        self._asct_stubs[job_id] = self._orb.stub(asct_ior, ASCT_INTERFACE)
+
+    def on_job_event(self, listener: Callable) -> None:
+        """Subscribe a local listener to (job_id, event, detail) triples."""
+        self._job_listeners.append(listener)
+
+    def lrm_stub(self, node: str):
+        """The LRM stub for a registered node (for coordinators)."""
+        record = self._nodes.get(node)
+        return record.lrm_stub if record is not None else None
+
+    def stop(self) -> None:
+        self._schedule_task.stop()
+        self._liveness_task.stop()
+
+    # -- Information Update Protocol (servant operations) ---------------------------
+
+    def register_node(self, status: dict, lrm_ior: str) -> None:
+        node = status["node"]
+        if node in self._nodes:
+            self.unregister_node(node)
+        stub = self._orb.stub(lrm_ior, LRM_INTERFACE)
+        offer_id = self.trader.export("node", lrm_ior, status)
+        self._nodes[node] = NodeRecord(
+            node, lrm_ior, stub, offer_id, status, self._loop.now
+        )
+
+    def unregister_node(self, node: str) -> None:
+        record = self._nodes.pop(node, None)
+        if record is None:
+            return
+        try:
+            self.trader.withdraw(record.offer_id)
+        except Exception:
+            pass
+
+    def send_update(self, status: dict) -> None:
+        record = self._nodes.get(status["node"])
+        if record is None:
+            return   # update from an unregistered node: drop, it must re-register
+        record.last_status = status
+        record.last_seen = self._loop.now
+        record.alive = True
+        self.trader.modify(record.offer_id, status)
+        self.stats.updates_received += 1
+
+    def _check_liveness(self) -> None:
+        now = self._loop.now
+        for record in list(self._nodes.values()):
+            if not record.alive:
+                continue
+            if now - record.last_seen > self._stale_after:
+                self._declare_dead(record)
+
+    def _declare_dead(self, record: NodeRecord) -> None:
+        record.alive = False
+        self.stats.nodes_declared_dead += 1
+        try:
+            self.trader.withdraw(record.offer_id)
+        except Exception:
+            pass
+        # Tasks on a dead node resume from the cluster checkpoint store.
+        for task_id, (job, task) in list(self._tasks.items()):
+            if task.node == record.node and task.state is TaskState.RUNNING:
+                resume = 0.0
+                if self.store is not None:
+                    checkpoint = self.store.load_latest(task_id)
+                    if checkpoint is not None:
+                        resume = checkpoint.state().get("progress_mips", 0.0)
+                # The node is gone, so progress-at-crash is unknowable;
+                # account only what the checkpoint preserved.
+                self.task_evicted(record.node, task_id, resume, resume)
+        del self._nodes[record.node]
+
+    # -- submission (servant operations) ----------------------------------------------
+
+    def submit(self, spec) -> str:
+        if isinstance(spec, dict):
+            spec = ApplicationSpec.from_dict(spec)
+        job_id = f"{self.cluster}-job{next(self._job_ids)}"
+        job = Job(job_id, spec, self._loop.now)
+        self._jobs[job_id] = job
+        for task in job.tasks:
+            self._tasks[task.task_id] = (job, task)
+        self._pending.append(job_id)
+        self.stats.jobs_submitted += 1
+        self._emit(job_id, "submitted", spec.name)
+        # Deferred so the caller can still attach a coordinator or ASCT
+        # before the first placement attempt runs.
+        self._loop.schedule(0.0, self._schedule_pass)
+        return job_id
+
+    def job_status(self, job_id: str) -> dict:
+        job = self._require_job(job_id)
+        return {
+            "job_id": job.job_id,
+            "name": job.spec.name,
+            "state": job.state.value,
+            "progress": job.progress_fraction(),
+            "submitted_at": job.submitted_at,
+            "completed_at": job.completed_at,
+            "tasks": [
+                {
+                    "task_id": t.task_id,
+                    "state": t.state.value,
+                    "node": t.node,
+                    "progress_mips": t.progress_mips,
+                    "attempts": t.attempts,
+                    "evictions": t.evictions,
+                    "result": t.result,
+                }
+                for t in job.tasks
+            ],
+        }
+
+    def cancel_job(self, job_id: str) -> None:
+        job = self._require_job(job_id)
+        if job.done:
+            return
+        for task in job.tasks:
+            if task.state is TaskState.RUNNING and task.node:
+                stub = self.lrm_stub(task.node)
+                if stub is not None:
+                    try:
+                        stub.stop_task(task.task_id)
+                    except OrbError:
+                        pass
+            if not task.done:
+                task.transition(TaskState.CANCELLED, self._loop.now, "cancel_job")
+        job.set_state(JobState.CANCELLED, self._loop.now)
+        self._emit(job_id, "cancelled", "")
+
+    def job(self, job_id: str) -> Job:
+        """Direct access for local harnesses and tests."""
+        return self._require_job(job_id)
+
+    @property
+    def jobs(self) -> list:
+        return list(self._jobs.values())
+
+    def _require_job(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return job
+
+    # -- task lifecycle callbacks (servant operations) ------------------------------------
+
+    def task_completed(self, node: str, task_id: str, result=None) -> None:
+        entry = self._tasks.get(task_id)
+        if entry is None:
+            return
+        job, task = entry
+        if task.state is not TaskState.RUNNING:
+            return
+        task.result = result
+        if isinstance(result, dict) and "__error__" in result:
+            # The task's payload violated the provider's sandbox: the
+            # compute finished but the application failed.
+            task.transition(
+                TaskState.FAILED, self._loop.now,
+                f"sandbox violation on {node}: {result['__error__']}"
+            )
+            job.refresh_state(self._loop.now)
+            self._emit(job.job_id, "task_failed", task_id)
+            return
+        task.advance(task.work_mips)
+        task.transition(TaskState.COMPLETED, self._loop.now, f"on {node}")
+        self.stats.completions += 1
+        coordinator = self._coordinators.get(job.job_id)
+        if coordinator is not None:
+            coordinator.member_completed(task_id)
+        job.refresh_state(self._loop.now)
+        if job.state is JobState.COMPLETED:
+            self._emit(job.job_id, "completed", "")
+
+    def task_evicted(
+        self,
+        node: str,
+        task_id: str,
+        progress_at_eviction_mips: float,
+        resume_progress_mips: float,
+    ) -> None:
+        entry = self._tasks.get(task_id)
+        if entry is None:
+            return
+        job, task = entry
+        if task.state is not TaskState.RUNNING:
+            return
+        self.stats.evictions_handled += 1
+        task.transition(TaskState.EVICTED, self._loop.now, f"from {node}")
+        # Credit the work actually done, then lose what was not
+        # checkpointed: wasted work shows up in task.wasted_mips.
+        if progress_at_eviction_mips > task.progress_mips:
+            task.advance(progress_at_eviction_mips - task.progress_mips)
+        task.rollback(
+            to_progress_mips=min(resume_progress_mips, task.progress_mips)
+        )
+        task.node = None
+        coordinator = self._coordinators.get(job.job_id)
+        if coordinator is not None:
+            coordinator.member_evicted(task_id, node)
+        task.transition(TaskState.PENDING, self._loop.now, "requeued")
+        if job.job_id not in self._pending:
+            self._pending.append(job.job_id)
+        self._emit(job.job_id, "task_evicted", task_id)
+
+    def task_reached_limit(self, node: str, task_id: str) -> None:
+        entry = self._tasks.get(task_id)
+        if entry is None:
+            return
+        job, _task = entry
+        coordinator = self._coordinators.get(job.job_id)
+        if coordinator is not None:
+            coordinator.member_reached_limit(task_id, node)
+
+    # -- scheduling ---------------------------------------------------------------------
+
+    def _schedule_pass(self) -> None:
+        if not self._pending:
+            return
+        still_pending: deque = deque()
+        while self._pending:
+            job_id = self._pending.popleft()
+            job = self._jobs.get(job_id)
+            if job is None or job.done:
+                continue
+            placed = self._schedule_job(job)
+            if not placed and any(
+                t.state is TaskState.PENDING for t in job.tasks
+            ):
+                if not self._forward_if_possible(job):
+                    still_pending.append(job_id)
+        self._pending = still_pending
+
+    def _schedule_job(self, job: Job) -> bool:
+        if job.spec.kind == BSP or job.spec.topology is not None:
+            return self._schedule_gang(job)
+        return self._schedule_independent(job)
+
+    def _offers_for(self, spec: ApplicationSpec) -> list:
+        reqs = spec.requirements
+        parts = [
+            "sharing == true",
+            f"cpu_free >= {reqs.cpu_fraction}",
+            f"mem_free_mb >= {reqs.mem_mb}",
+        ]
+        if reqs.min_mips > 0:
+            parts.append(f"mips >= {reqs.min_mips}")
+        if reqs.min_ram_mb > 0:
+            parts.append(f"ram_mb >= {reqs.min_ram_mb}")
+        if reqs.disk_mb > 0:
+            parts.append(f"disk_free_mb >= {reqs.disk_mb}")
+        constraint = " && ".join(parts)
+        offers = self.trader.query("node", constraint=constraint)
+        return [
+            o["properties"] for o in offers
+            if reqs.satisfied_by(o["properties"])
+            and self._nodes.get(o["properties"]["node"]) is not None
+            and self._nodes[o["properties"]["node"]].alive
+        ]
+
+    def _schedule_independent(self, job: Job) -> bool:
+        all_placed = True
+        for task in job.tasks:
+            if task.state is not TaskState.PENDING:
+                continue
+            # Do not bounce an evicted task straight back onto the node
+            # whose owner just reclaimed it (unless it is the only one).
+            exclude = ()
+            last_node = self._last_node_of(task)
+            if task.evictions > 0 and last_node is not None:
+                exclude = (last_node,)
+            if not self._place_task(job, task, exclude=exclude):
+                if exclude and self._place_task(job, task):
+                    continue   # fall back: the old node is all there is
+                all_placed = False
+        job.refresh_state(self._loop.now)
+        return all_placed
+
+    @staticmethod
+    def _last_node_of(task: Task):
+        for event in reversed(task.history):
+            if event.state == "evicted" and event.detail.startswith("from "):
+                return event.detail[len("from "):]
+        return None
+
+    def _apply_user_preference(self, offers: list, spec: ApplicationSpec) -> list:
+        """The user's preference expression outranks the cluster policy.
+
+        Paper, Section 4: users state "preferences, like rather executing
+        on a faster CPU than on a slower one".  A stable sort on the
+        preference score keeps the policy's order among equally-preferred
+        offers.
+        """
+        if not spec.preference:
+            return offers
+        rank = spec.preference_rank()
+        return sorted(offers, key=rank.score, reverse=True)
+
+    def _place_task(self, job: Job, task: Task, exclude: tuple = ()) -> bool:
+        ctx = ScheduleContext(
+            spec=job.spec,
+            remaining_mips=task.remaining_mips,
+            now=self._loop.now,
+            gupa=self.gupa,
+        )
+        offers = [
+            o for o in self._offers_for(job.spec)
+            if o["node"] not in exclude
+        ]
+        ordered = self._apply_user_preference(
+            self.policy.order(offers, ctx), job.spec
+        )
+        for offer in ordered[: self._max_negotiations]:
+            node = offer["node"]
+            if self._reserve_on(node, job, task):
+                if self._launch_on(node, job, task):
+                    return True
+                self._cancel_reservation(node, task.task_id)
+        return False
+
+    def _reserve_on(self, node: str, job: Job, task: Task) -> bool:
+        record = self._nodes.get(node)
+        if record is None or not record.alive:
+            return False
+        self.stats.negotiation_rounds += 1
+        reqs = job.spec.requirements
+        try:
+            reply = record.lrm_stub.request_reservation({
+                "task_id": task.task_id,
+                "cpu_fraction": reqs.cpu_fraction,
+                "mem_mb": reqs.mem_mb,
+                "disk_mb": reqs.disk_mb,
+                "lease_seconds": self._reservation_lease,
+            })
+        except OrbError:
+            return False
+        if not reply["accepted"]:
+            self.stats.reservations_refused += 1
+            return False
+        return True
+
+    def _launch_on(self, node: str, job: Job, task: Task) -> bool:
+        record = self._nodes.get(node)
+        if record is None:
+            return False
+        checkpoint_interval = job.spec.metadata.get("checkpoint_interval_s", 0.0)
+        try:
+            started = record.lrm_stub.start_task({
+                "task_id": task.task_id,
+                "job_id": job.job_id,
+                "work_mips": task.work_mips,
+                "initial_progress_mips": task.progress_mips,
+                "checkpoint_interval_s": float(checkpoint_interval),
+                "payload": str(job.spec.metadata.get("payload", "")),
+            })
+        except OrbError:
+            return False
+        if not started:
+            return False
+        task.node = node
+        task.transition(TaskState.RESERVED, self._loop.now, node)
+        task.transition(TaskState.RUNNING, self._loop.now, node)
+        self.stats.placements += 1
+        job.refresh_state(self._loop.now)
+        return True
+
+    def _cancel_reservation(self, node: str, task_id: str) -> None:
+        record = self._nodes.get(node)
+        if record is None:
+            return
+        try:
+            record.lrm_stub.cancel_reservation(task_id)
+        except OrbError:
+            pass
+
+    def _schedule_gang(self, job: Job) -> bool:
+        """Reserve every pending task on a distinct node, or none at all."""
+        pending = [t for t in job.tasks if t.state is TaskState.PENDING]
+        if not pending:
+            return True
+        busy_nodes = {
+            t.node for t in job.tasks if t.node is not None and not t.done
+        }
+        offers = [
+            o for o in self._offers_for(job.spec)
+            if o["node"] not in busy_nodes
+        ]
+        ctx = ScheduleContext(
+            spec=job.spec,
+            remaining_mips=max(t.remaining_mips for t in pending),
+            now=self._loop.now,
+            gupa=self.gupa,
+        )
+        if job.spec.topology is not None and self.network is not None:
+            plan = plan_virtual_topology(
+                offers, job.spec.topology, self.network, ctx, self.policy
+            )
+            if plan is None:
+                self.stats.gang_failures += 1
+                return False
+            ordered = [offer for group in plan for offer in group]
+        else:
+            ordered = self._apply_user_preference(
+                self.policy.order(offers, ctx), job.spec
+            )
+        if len(ordered) < len(pending):
+            self.stats.gang_failures += 1
+            return False
+
+        reserved: list[tuple] = []
+        offer_iter = iter(ordered)
+        for task in pending:
+            placed_node = None
+            for offer in offer_iter:
+                if self._reserve_on(offer["node"], job, task):
+                    placed_node = offer["node"]
+                    break
+            if placed_node is None:
+                for node, earlier in reserved:
+                    self._cancel_reservation(node, earlier.task_id)
+                self.stats.gang_failures += 1
+                return False
+            reserved.append((placed_node, task))
+
+        for node, task in reserved:
+            if not self._launch_on(node, job, task):
+                # A start failing after reservation is pathological; give
+                # the remaining members back and requeue.
+                for other_node, other in reserved:
+                    if other.state is TaskState.PENDING:
+                        self._cancel_reservation(other_node, other.task_id)
+                self.stats.gang_failures += 1
+                return False
+        self.stats.gang_placements += 1
+        coordinator = self._coordinators.get(job.job_id)
+        if coordinator is not None:
+            coordinator.members_started(
+                {task.task_id: node for node, task in reserved}
+            )
+        return True
+
+    def migrate_task(self, task_id: str, exclude_current: bool = True) -> bool:
+        """Live-migrate a running task to another node.
+
+        The paper's checkpointing requirement exists "to permit migration
+        of computation across grid nodes"; this is the control-plane
+        operation: stop the task on its current node (capturing its exact
+        progress), then place it elsewhere resuming from that progress.
+        Returns True when the task ends up running on a new node; on
+        failure to re-place, the task is left PENDING for the normal
+        scheduling passes (no work is lost).
+        """
+        entry = self._tasks.get(task_id)
+        if entry is None:
+            raise KeyError(f"unknown task {task_id!r}")
+        job, task = entry
+        if task.state is not TaskState.RUNNING or task.node is None:
+            return False
+        old_node = task.node
+        stub = self.lrm_stub(old_node)
+        if stub is None:
+            return False
+        try:
+            progress = stub.stop_task(task_id)
+        except OrbError:
+            return False
+        if progress >= 0:
+            if progress > task.progress_mips:
+                task.advance(progress - task.progress_mips)
+        task.transition(TaskState.EVICTED, self._loop.now,
+                        f"migrating off {old_node}")
+        task.rollback(to_progress_mips=min(task.progress_mips,
+                                           max(0.0, progress)))
+        task.node = None
+        task.transition(TaskState.PENDING, self._loop.now, "migration")
+        exclude = (old_node,) if exclude_current else ()
+        placed = self._place_task(job, task, exclude=exclude)
+        if not placed and job.job_id not in self._pending:
+            self._pending.append(job.job_id)
+        self._emit(job.job_id, "migrated" if placed else "migration_pending",
+                   task_id)
+        return placed
+
+    def _forward_if_possible(self, job: Job) -> bool:
+        """Wide-area step: hand an unplaceable job to the parent GRM."""
+        if self._parent is None:
+            return False
+        if job.spec.metadata.get("no_forward"):
+            return False   # already forwarded once; it stays here
+        if any(t.state is not TaskState.PENDING for t in job.tasks):
+            return False   # partially placed jobs stay local
+        try:
+            remote_id = self._parent.submit_remote(
+                job.spec.to_dict(), self.cluster
+            )
+        except OrbError:
+            return False
+        if not remote_id:
+            return False
+        for task in job.tasks:
+            task.transition(TaskState.CANCELLED, self._loop.now, "forwarded")
+        job.set_state(JobState.CANCELLED, self._loop.now,
+                      f"forwarded as {remote_id}")
+        job.forwarded_to = remote_id
+        self.stats.jobs_forwarded += 1
+        self._emit(job.job_id, "forwarded", remote_id)
+        return True
+
+    # -- notifications ---------------------------------------------------------------------
+
+    def _emit(self, job_id: str, event: str, detail: str) -> None:
+        for listener in self._job_listeners:
+            listener(job_id, event, detail)
+        stub = self._asct_stubs.get(job_id)
+        if stub is not None:
+            try:
+                stub.job_event(job_id, event, detail)
+            except OrbError:
+                pass
+
+    # -- summaries (for the hierarchy) ---------------------------------------------------------
+
+    def cluster_summary(self) -> dict:
+        statuses = [r.last_status for r in self._nodes.values() if r.alive]
+        pending_tasks = sum(
+            1
+            for job_id in self._pending
+            for t in self._jobs[job_id].tasks
+            if job_id in self._jobs and t.state is TaskState.PENDING
+        )
+        return {
+            "cluster": self.cluster,
+            "time": self._loop.now,
+            "nodes": len(statuses),
+            "sharing_nodes": sum(1 for s in statuses if s["sharing"]),
+            "free_cpu_total": sum(s["cpu_free"] for s in statuses),
+            "free_mem_total_mb": sum(s["mem_free_mb"] for s in statuses),
+            "max_node_mips": max((s["mips"] for s in statuses), default=0.0),
+            "pending_tasks": pending_tasks,
+        }

@@ -1,0 +1,79 @@
+"""Global Usage Pattern Analyzer (GUPA).
+
+Receives each node's weekly usage profile from its LUPA and answers the
+GRM's question: "how likely is this node to stay idle long enough for
+this task?"  (Paper, Section 4: "This information is made available to
+the GRM, which can make better scheduling decisions due to the
+possibility of predicting a node's idle periods.")
+"""
+
+from typing import Optional
+
+from repro.sim.clock import SECONDS_PER_DAY
+
+UNKNOWN = -1.0
+
+
+class Gupa:
+    """Cluster-wide store of per-node usage patterns."""
+
+    def __init__(self):
+        self._patterns: dict[str, dict] = {}
+        self.uploads = 0
+
+    def upload_pattern(self, node: str, pattern: Optional[dict]) -> None:
+        """Store (or refresh) a node's weekly profile."""
+        if pattern is None:
+            return
+        if "weekly" not in pattern or "bins_per_day" not in pattern:
+            raise ValueError(f"malformed pattern for node {node!r}")
+        if len(pattern["weekly"]) != 7:
+            raise ValueError("weekly profile must have 7 rows")
+        self._patterns[node] = dict(pattern)
+        self.uploads += 1
+
+    def has_pattern(self, node: str) -> bool:
+        return node in self._patterns
+
+    def forget(self, node: str) -> None:
+        """Drop a node's pattern (node left the cluster)."""
+        self._patterns.pop(node, None)
+
+    @property
+    def known_nodes(self) -> list:
+        return sorted(self._patterns)
+
+    def busy_probability(self, node: str, when: float) -> float:
+        """P(owner active at ``when``), or UNKNOWN without a pattern."""
+        pattern = self._patterns.get(node)
+        if pattern is None:
+            return UNKNOWN
+        bins_per_day = pattern["bins_per_day"]
+        bin_seconds = SECONDS_PER_DAY / bins_per_day
+        dow = int(when // SECONDS_PER_DAY) % 7
+        bin_index = int((when % SECONDS_PER_DAY) // bin_seconds)
+        return float(pattern["weekly"][dow][bin_index])
+
+    def idle_probability(self, node: str, start: float, duration: float) -> float:
+        """P(node stays idle through the span), or UNKNOWN.
+
+        Same independent-bins model as the LUPA side, computed from the
+        uploaded profile so the GRM never needs to call back to nodes.
+        """
+        pattern = self._patterns.get(node)
+        if pattern is None:
+            return UNKNOWN
+        bins_per_day = pattern["bins_per_day"]
+        bin_seconds = SECONDS_PER_DAY / bins_per_day
+        if duration <= 0:
+            return 1.0 - self.busy_probability(node, start)
+        probability = 1.0
+        t = start
+        end = start + duration
+        while t < end:
+            bin_end = (t // bin_seconds + 1) * bin_seconds
+            chunk = min(bin_end, end) - t
+            weight = chunk / bin_seconds
+            probability *= (1.0 - self.busy_probability(node, t)) ** weight
+            t = min(bin_end, end)
+        return probability

@@ -1,0 +1,276 @@
+"""Inter-cluster hierarchy.
+
+"Clusters are then arranged in a hierarchy, allowing a single InteGrade
+grid to encompass millions of machines" (Section 4).  A
+:class:`ParentGrm` aggregates per-cluster summaries (not per-node status
+— that is the point of the hierarchy) and places jobs that their origin
+cluster could not, implementing the wide-area extension of the resource
+management protocols (Marques & Kon 2002).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.spec import ApplicationSpec
+from repro.core.grm import Grm
+from repro.core.protocols import GRM_INTERFACE
+from repro.orb.core import Orb
+from repro.orb.exceptions import OrbError
+from repro.sim.events import EventLoop
+
+DEFAULT_SUMMARY_INTERVAL = 300.0
+
+
+@dataclass
+class ClusterRecord:
+    """The parent's view of one child cluster."""
+
+    cluster: str
+    grm_ior: str
+    grm_stub: object
+    summary: dict
+    last_seen: float
+
+
+class NoCapacity(Exception):
+    """No child cluster can host the submitted application."""
+
+
+class ParentGrm:
+    """The servant implementing ``integrade/ParentGrm``.
+
+    Also implements a GRM-compatible ``submit``/``job_status`` facade, so
+    a ParentGrm can itself register as a "cluster" with a higher-level
+    ParentGrm — the paper's arbitrarily deep hierarchy ("the hierarchy
+    can be arranged in any convenient manner").
+    """
+
+    def __init__(self, loop: EventLoop, orb: Orb, name: str = "parent"):
+        self._loop = loop
+        self._orb = orb
+        self.name = name
+        self._children: dict[str, ClusterRecord] = {}
+        self._parent = None
+        self.summaries_received = 0
+        self.remote_submissions = 0
+        self.remote_rejections = 0
+        self.upward_forwards = 0
+
+    # -- servant operations -----------------------------------------------------
+
+    def register_cluster(self, summary: dict, grm_ior: str) -> None:
+        cluster = summary["cluster"]
+        stub = self._orb.stub(grm_ior, GRM_INTERFACE)
+        self._children[cluster] = ClusterRecord(
+            cluster, grm_ior, stub, summary, self._loop.now
+        )
+
+    def send_summary(self, summary: dict) -> None:
+        record = self._children.get(summary["cluster"])
+        if record is None:
+            return
+        record.summary = summary
+        record.last_seen = self._loop.now
+        self.summaries_received += 1
+
+    def submit_remote(self, spec: dict, origin_cluster: str) -> str:
+        """Place a job some other child cluster can run, or return ''.
+
+        When no child qualifies and this node has a parent, the request
+        escalates one level up; ``metadata["visited"]`` carries the
+        hierarchy path to rule out cycles.
+        """
+        visited = list(dict(spec.get("metadata", {})).get("visited", []))
+        if self.name in visited:
+            self.remote_rejections += 1
+            return ""
+        parsed = ApplicationSpec.from_dict(spec)
+        candidates = self._rank_candidates(parsed, origin_cluster)
+        for record in candidates:
+            forwarded = self._tag(spec, origin_cluster, visited)
+            try:
+                job_id = record.grm_stub.submit(forwarded)
+            except OrbError:
+                continue
+            self.remote_submissions += 1
+            return job_id
+        if self._parent is not None:
+            escalated = self._tag(spec, origin_cluster, visited)
+            try:
+                job_id = self._parent.submit_remote(escalated, self.name)
+            except OrbError:
+                job_id = ""
+            if job_id:
+                self.upward_forwards += 1
+                return job_id
+        self.remote_rejections += 1
+        return ""
+
+    def _tag(self, spec: dict, origin_cluster: str, visited: list) -> dict:
+        forwarded = dict(spec)
+        metadata = dict(forwarded.get("metadata", {}))
+        metadata["no_forward"] = True
+        metadata["origin_cluster"] = origin_cluster
+        metadata["visited"] = visited + [self.name]
+        forwarded["metadata"] = metadata
+        return forwarded
+
+    # -- GRM-compatible facade (lets a ParentGrm be someone's child) ---------
+
+    def submit(self, spec) -> str:
+        """Place the job in the best child cluster, or raise NoCapacity."""
+        if isinstance(spec, dict):
+            spec_dict = spec
+        else:
+            spec_dict = spec.to_dict()
+        parsed = ApplicationSpec.from_dict(spec_dict)
+        for record in self._rank_candidates(parsed, origin=""):
+            try:
+                job_id = record.grm_stub.submit(spec_dict)
+            except OrbError:
+                continue
+            self._delegated_jobs[job_id] = record
+            return job_id
+        raise NoCapacity(
+            f"{self.name}: no child cluster can host {parsed.name!r}"
+        )
+
+    @property
+    def _delegated_jobs(self) -> dict:
+        if not hasattr(self, "_delegated"):
+            self._delegated = {}
+        return self._delegated
+
+    def job_status(self, job_id: str) -> dict:
+        record = self._delegated_jobs.get(job_id)
+        if record is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return record.grm_stub.job_status(job_id)
+
+    def cancel_job(self, job_id: str) -> None:
+        record = self._delegated_jobs.get(job_id)
+        if record is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        record.grm_stub.cancel_job(job_id)
+
+    # GRM interface operations that have no meaning at an aggregation
+    # node: per-node traffic never reaches a parent.
+    def register_node(self, status, lrm_ior) -> None:
+        raise TypeError("nodes register with leaf GRMs, not parents")
+
+    def unregister_node(self, node) -> None:
+        raise TypeError("nodes register with leaf GRMs, not parents")
+
+    def send_update(self, status) -> None:
+        pass
+
+    def register_asct(self, job_id, asct_ior) -> None:
+        pass
+
+    def task_completed(self, node, task_id, result) -> None:
+        pass
+
+    def task_evicted(self, node, task_id, progress, resume) -> None:
+        pass
+
+    def task_reached_limit(self, node, task_id) -> None:
+        pass
+
+    def aggregate_summary(self) -> dict:
+        """This subtree, summarised as if it were one big cluster."""
+        children = list(self._children.values())
+        return {
+            "cluster": self.name,
+            "time": self._loop.now,
+            "nodes": sum(r.summary["nodes"] for r in children),
+            "sharing_nodes": sum(
+                r.summary["sharing_nodes"] for r in children
+            ),
+            "free_cpu_total": sum(
+                r.summary["free_cpu_total"] for r in children
+            ),
+            "free_mem_total_mb": sum(
+                r.summary["free_mem_total_mb"] for r in children
+            ),
+            "max_node_mips": max(
+                (r.summary["max_node_mips"] for r in children), default=0.0
+            ),
+            "pending_tasks": sum(
+                r.summary["pending_tasks"] for r in children
+            ),
+        }
+
+    def attach_parent(
+        self,
+        parent_stub,
+        own_grm_facade_ior: str,
+        loop: Optional[EventLoop] = None,
+        interval: float = DEFAULT_SUMMARY_INTERVAL,
+    ) -> None:
+        """Join a higher-level ParentGrm as one of its 'clusters'."""
+        self._parent = parent_stub
+        parent_stub.register_cluster(
+            self.aggregate_summary(), own_grm_facade_ior
+        )
+        driver = loop if loop is not None else self._loop
+        driver.every(
+            interval,
+            lambda: parent_stub.send_summary(self.aggregate_summary()),
+        )
+
+    # -- selection -----------------------------------------------------------------
+
+    def _rank_candidates(self, spec: ApplicationSpec, origin: str) -> list:
+        reqs = spec.requirements
+        needed_cpu = spec.tasks * reqs.cpu_fraction
+        eligible = []
+        for record in self._children.values():
+            if record.cluster == origin:
+                continue
+            summary = record.summary
+            if summary["sharing_nodes"] < spec.tasks:
+                continue
+            if summary["free_cpu_total"] < needed_cpu:
+                continue
+            if reqs.min_mips > 0 and summary["max_node_mips"] < reqs.min_mips:
+                continue
+            eligible.append(record)
+        # Least-loaded first: most spare CPU relative to what we need.
+        eligible.sort(
+            key=lambda r: r.summary["free_cpu_total"], reverse=True
+        )
+        return eligible
+
+    @property
+    def clusters(self) -> list:
+        return sorted(self._children)
+
+    def summary_of(self, cluster: str) -> Optional[dict]:
+        record = self._children.get(cluster)
+        return record.summary if record is not None else None
+
+
+class ClusterUplink:
+    """The child side: registers with the parent and streams summaries."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        grm: Grm,
+        parent_stub,
+        grm_ior: str,
+        interval: float = DEFAULT_SUMMARY_INTERVAL,
+    ):
+        self._grm = grm
+        self._parent = parent_stub
+        parent_stub.register_cluster(grm.cluster_summary(), grm_ior)
+        grm.set_parent(parent_stub)
+        self.summaries_sent = 0
+        self._task = loop.every(interval, self._send)
+
+    def _send(self) -> None:
+        self._parent.send_summary(self._grm.cluster_summary())
+        self.summaries_sent += 1
+
+    def stop(self) -> None:
+        self._task.stop()

@@ -1,0 +1,110 @@
+"""Per-node resource reservation ledger.
+
+Implements the LRM side of the Resource Reservation and Execution
+Protocol: a reservation claims machine resources for a bounded lease so
+the GRM can negotiate with several nodes without races; confirming turns
+it into a running allocation, and unconfirmed leases expire on their own.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.events import EventHandle, EventLoop
+from repro.sim.machine import InsufficientResources, Machine
+
+DEFAULT_LEASE_SECONDS = 120.0
+
+
+@dataclass
+class Reservation:
+    task_id: str
+    cpu_fraction: float
+    mem_mb: float
+    disk_mb: float
+    expires_at: Optional[float]          # None once confirmed
+    _expiry: Optional[EventHandle] = None
+
+    @property
+    def confirmed(self) -> bool:
+        return self.expires_at is None
+
+
+class ReservationLedger:
+    """Tracks reservations against one machine, with automatic expiry."""
+
+    def __init__(self, loop: EventLoop, machine: Machine):
+        self._loop = loop
+        self._machine = machine
+        self._reservations: dict[str, Reservation] = {}
+        self.expired_count = 0
+        self.refused_count = 0
+
+    # -- protocol steps -------------------------------------------------------
+
+    def reserve(
+        self,
+        task_id: str,
+        cpu_fraction: float,
+        mem_mb: float,
+        disk_mb: float = 0.0,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    ) -> None:
+        """Claim resources for ``lease_seconds``; raises if unavailable."""
+        if task_id in self._reservations:
+            raise ValueError(f"task {task_id!r} already has a reservation")
+        if lease_seconds <= 0:
+            raise ValueError("lease must be positive")
+        try:
+            self._machine.allocate(task_id, cpu_fraction, mem_mb, disk_mb)
+        except InsufficientResources:
+            self.refused_count += 1
+            raise
+        expires_at = self._loop.now + lease_seconds
+        handle = self._loop.schedule(lease_seconds, lambda: self._expire(task_id))
+        self._reservations[task_id] = Reservation(
+            task_id, cpu_fraction, mem_mb, disk_mb, expires_at, handle
+        )
+
+    def confirm(self, task_id: str) -> Reservation:
+        """Convert a lease into a running allocation (no more expiry)."""
+        reservation = self._get(task_id)
+        if reservation.confirmed:
+            return reservation
+        reservation._expiry.cancel()
+        reservation._expiry = None
+        reservation.expires_at = None
+        return reservation
+
+    def release(self, task_id: str) -> None:
+        """Free the resources, whether leased or confirmed."""
+        reservation = self._get(task_id)
+        if reservation._expiry is not None:
+            reservation._expiry.cancel()
+        del self._reservations[task_id]
+        self._machine.release(task_id)
+
+    # -- queries ---------------------------------------------------------------
+
+    def holds(self, task_id: str) -> bool:
+        return task_id in self._reservations
+
+    def get(self, task_id: str) -> Optional[Reservation]:
+        return self._reservations.get(task_id)
+
+    @property
+    def active(self) -> list:
+        return list(self._reservations.values())
+
+    def _get(self, task_id: str) -> Reservation:
+        reservation = self._reservations.get(task_id)
+        if reservation is None:
+            raise KeyError(f"no reservation for task {task_id!r}")
+        return reservation
+
+    def _expire(self, task_id: str) -> None:
+        reservation = self._reservations.get(task_id)
+        if reservation is None or reservation.confirmed:
+            return
+        del self._reservations[task_id]
+        self._machine.release(task_id)
+        self.expired_count += 1

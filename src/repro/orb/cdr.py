@@ -1,0 +1,435 @@
+"""CDR-flavoured binary marshalling.
+
+Implements the parts of CORBA's Common Data Representation the middleware
+needs: aligned little-endian primitives, length-prefixed strings and
+sequences, structs, enums, and a tagged ``Variant`` (standing in for the
+CORBA ``any``) used by the Trading service's property lists.
+
+Types are objects with ``encode``/``decode`` methods, so an operation
+signature is simply a list of type objects and marshalling is table-driven.
+"""
+
+import struct as _struct
+from typing import Any, Sequence as _SequenceT
+
+from repro.orb.exceptions import MarshalError
+
+
+class CdrEncoder:
+    """Append-only aligned binary writer."""
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def align(self, boundary: int) -> None:
+        remainder = len(self._buf) % boundary
+        if remainder:
+            self._buf.extend(b"\x00" * (boundary - remainder))
+
+    def _pack(self, fmt: str, size: int, value) -> None:
+        self.align(size)
+        try:
+            self._buf.extend(_struct.pack(fmt, value))
+        except _struct.error as exc:
+            raise MarshalError(f"cannot pack {value!r} as {fmt!r}: {exc}") from exc
+
+    def write_octet(self, value: int) -> None:
+        self._pack("<B", 1, value)
+
+    def write_boolean(self, value: bool) -> None:
+        self.write_octet(1 if value else 0)
+
+    def write_short(self, value: int) -> None:
+        self._pack("<h", 2, value)
+
+    def write_ushort(self, value: int) -> None:
+        self._pack("<H", 2, value)
+
+    def write_long(self, value: int) -> None:
+        self._pack("<i", 4, value)
+
+    def write_ulong(self, value: int) -> None:
+        self._pack("<I", 4, value)
+
+    def write_longlong(self, value: int) -> None:
+        self._pack("<q", 8, value)
+
+    def write_double(self, value: float) -> None:
+        self._pack("<d", 8, float(value))
+
+    def write_string(self, value: str) -> None:
+        if not isinstance(value, str):
+            raise MarshalError(f"expected str, got {type(value).__name__}")
+        data = value.encode("utf-8")
+        self.write_ulong(len(data) + 1)   # CDR counts the terminating NUL
+        self._buf.extend(data)
+        self._buf.append(0)
+
+    def write_octets(self, value: bytes) -> None:
+        if not isinstance(value, (bytes, bytearray, memoryview)):
+            raise MarshalError(f"expected bytes, got {type(value).__name__}")
+        data = bytes(value)
+        self.write_ulong(len(data))
+        self._buf.extend(data)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class CdrDecoder:
+    """Aligned binary reader matching :class:`CdrEncoder`."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def align(self, boundary: int) -> None:
+        remainder = self._pos % boundary
+        if remainder:
+            self._pos += boundary - remainder
+
+    def _unpack(self, fmt: str, size: int):
+        self.align(size)
+        end = self._pos + size
+        if end > len(self._data):
+            raise MarshalError(
+                f"buffer underrun: need {size} bytes at {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        (value,) = _struct.unpack_from(fmt, self._data, self._pos)
+        self._pos = end
+        return value
+
+    def read_octet(self) -> int:
+        return self._unpack("<B", 1)
+
+    def read_boolean(self) -> bool:
+        return bool(self.read_octet())
+
+    def read_short(self) -> int:
+        return self._unpack("<h", 2)
+
+    def read_ushort(self) -> int:
+        return self._unpack("<H", 2)
+
+    def read_long(self) -> int:
+        return self._unpack("<i", 4)
+
+    def read_ulong(self) -> int:
+        return self._unpack("<I", 4)
+
+    def read_longlong(self) -> int:
+        return self._unpack("<q", 8)
+
+    def read_double(self) -> float:
+        return self._unpack("<d", 8)
+
+    def read_string(self) -> str:
+        length = self.read_ulong()
+        if length == 0:
+            raise MarshalError("string length must include the NUL terminator")
+        end = self._pos + length
+        if end > len(self._data):
+            raise MarshalError("buffer underrun reading string body")
+        raw = self._data[self._pos:end - 1]
+        if self._data[end - 1] != 0:
+            raise MarshalError("string is not NUL-terminated")
+        self._pos = end
+        return raw.decode("utf-8")
+
+    def read_octets(self) -> bytes:
+        length = self.read_ulong()
+        end = self._pos + length
+        if end > len(self._data):
+            raise MarshalError("buffer underrun reading octet sequence")
+        raw = self._data[self._pos:end]
+        self._pos = end
+        return bytes(raw)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+
+# ---------------------------------------------------------------------------
+# IDL type objects
+# ---------------------------------------------------------------------------
+
+class IdlType:
+    """Base class; subclasses implement encode/decode for one IDL type."""
+
+    name = "idl"
+
+    def encode(self, enc: CdrEncoder, value) -> None:
+        raise NotImplementedError
+
+    def decode(self, dec: CdrDecoder):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return self.name
+
+
+class _Void(IdlType):
+    name = "void"
+
+    def encode(self, enc, value):
+        if value is not None:
+            raise MarshalError(f"void cannot carry {value!r}")
+
+    def decode(self, dec):
+        return None
+
+
+class _Boolean(IdlType):
+    name = "boolean"
+
+    def encode(self, enc, value):
+        enc.write_boolean(bool(value))
+
+    def decode(self, dec):
+        return dec.read_boolean()
+
+
+class _Octet(IdlType):
+    name = "octet"
+
+    def encode(self, enc, value):
+        enc.write_octet(value)
+
+    def decode(self, dec):
+        return dec.read_octet()
+
+
+class _Short(IdlType):
+    name = "short"
+
+    def encode(self, enc, value):
+        enc.write_short(value)
+
+    def decode(self, dec):
+        return dec.read_short()
+
+
+class _UShort(IdlType):
+    name = "ushort"
+
+    def encode(self, enc, value):
+        enc.write_ushort(value)
+
+    def decode(self, dec):
+        return dec.read_ushort()
+
+
+class _Long(IdlType):
+    name = "long"
+
+    def encode(self, enc, value):
+        enc.write_long(value)
+
+    def decode(self, dec):
+        return dec.read_long()
+
+
+class _ULong(IdlType):
+    name = "ulong"
+
+    def encode(self, enc, value):
+        enc.write_ulong(value)
+
+    def decode(self, dec):
+        return dec.read_ulong()
+
+
+class _LongLong(IdlType):
+    name = "longlong"
+
+    def encode(self, enc, value):
+        enc.write_longlong(value)
+
+    def decode(self, dec):
+        return dec.read_longlong()
+
+
+class _Double(IdlType):
+    name = "double"
+
+    def encode(self, enc, value):
+        enc.write_double(value)
+
+    def decode(self, dec):
+        return dec.read_double()
+
+
+class _String(IdlType):
+    name = "string"
+
+    def encode(self, enc, value):
+        enc.write_string(value)
+
+    def decode(self, dec):
+        return dec.read_string()
+
+
+class _Octets(IdlType):
+    name = "octets"
+
+    def encode(self, enc, value):
+        enc.write_octets(value)
+
+    def decode(self, dec):
+        return dec.read_octets()
+
+
+Void = _Void()
+Boolean = _Boolean()
+Octet = _Octet()
+Short = _Short()
+UShort = _UShort()
+Long = _Long()
+ULong = _ULong()
+LongLong = _LongLong()
+Double = _Double()
+String = _String()
+Octets = _Octets()
+
+
+class Sequence(IdlType):
+    """A length-prefixed homogeneous sequence."""
+
+    def __init__(self, element: IdlType):
+        self.element = element
+        self.name = f"sequence<{element.name}>"
+
+    def encode(self, enc, value):
+        if not isinstance(value, (list, tuple)):
+            raise MarshalError(
+                f"expected list/tuple for {self.name}, got {type(value).__name__}"
+            )
+        enc.write_ulong(len(value))
+        for item in value:
+            self.element.encode(enc, item)
+
+    def decode(self, dec):
+        count = dec.read_ulong()
+        return [self.element.decode(dec) for _ in range(count)]
+
+
+class Struct(IdlType):
+    """A named struct; Python-side values are plain dicts."""
+
+    def __init__(self, name: str, fields: _SequenceT):
+        self.name = name
+        self.fields = list(fields)
+        field_names = [fname for fname, _ in self.fields]
+        if len(set(field_names)) != len(field_names):
+            raise ValueError(f"duplicate field in struct {name!r}")
+
+    def encode(self, enc, value):
+        if not isinstance(value, dict):
+            raise MarshalError(
+                f"expected dict for struct {self.name}, got {type(value).__name__}"
+            )
+        for fname, ftype in self.fields:
+            if fname not in value:
+                raise MarshalError(f"struct {self.name} missing field {fname!r}")
+            ftype.encode(enc, value[fname])
+
+    def decode(self, dec):
+        return {fname: ftype.decode(dec) for fname, ftype in self.fields}
+
+
+class Enum(IdlType):
+    """A named enum; Python-side values are the member strings."""
+
+    def __init__(self, name: str, members: _SequenceT):
+        self.name = name
+        self.members = list(members)
+        self._index = {m: i for i, m in enumerate(self.members)}
+
+    def encode(self, enc, value):
+        if value not in self._index:
+            raise MarshalError(f"{value!r} is not a member of enum {self.name}")
+        enc.write_ulong(self._index[value])
+
+    def decode(self, dec):
+        index = dec.read_ulong()
+        if index >= len(self.members):
+            raise MarshalError(f"enum {self.name} has no member #{index}")
+        return self.members[index]
+
+
+class Variant(IdlType):
+    """A tagged dynamic value (the role CORBA's ``any`` plays).
+
+    Supports None, bool, int, float, str, bytes, and lists/dicts thereof —
+    enough for Trader property lists and LUPA pattern uploads.
+    """
+
+    name = "variant"
+
+    _NONE, _BOOL, _LONGLONG, _DOUBLE, _STRING, _BYTES, _LIST, _DICT = range(8)
+
+    def encode(self, enc, value):
+        if value is None:
+            enc.write_octet(self._NONE)
+        elif isinstance(value, bool):
+            enc.write_octet(self._BOOL)
+            enc.write_boolean(value)
+        elif isinstance(value, int):
+            enc.write_octet(self._LONGLONG)
+            enc.write_longlong(value)
+        elif isinstance(value, float):
+            enc.write_octet(self._DOUBLE)
+            enc.write_double(value)
+        elif isinstance(value, str):
+            enc.write_octet(self._STRING)
+            enc.write_string(value)
+        elif isinstance(value, (bytes, bytearray)):
+            enc.write_octet(self._BYTES)
+            enc.write_octets(bytes(value))
+        elif isinstance(value, (list, tuple)):
+            enc.write_octet(self._LIST)
+            enc.write_ulong(len(value))
+            for item in value:
+                self.encode(enc, item)
+        elif isinstance(value, dict):
+            enc.write_octet(self._DICT)
+            enc.write_ulong(len(value))
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    raise MarshalError("variant dict keys must be strings")
+                enc.write_string(key)
+                self.encode(enc, item)
+        else:
+            raise MarshalError(
+                f"variant cannot carry {type(value).__name__} values"
+            )
+
+    def decode(self, dec):
+        tag = dec.read_octet()
+        if tag == self._NONE:
+            return None
+        if tag == self._BOOL:
+            return dec.read_boolean()
+        if tag == self._LONGLONG:
+            return dec.read_longlong()
+        if tag == self._DOUBLE:
+            return dec.read_double()
+        if tag == self._STRING:
+            return dec.read_string()
+        if tag == self._BYTES:
+            return dec.read_octets()
+        if tag == self._LIST:
+            count = dec.read_ulong()
+            return [self.decode(dec) for _ in range(count)]
+        if tag == self._DICT:
+            count = dec.read_ulong()
+            return {dec.read_string(): self.decode(dec) for _ in range(count)}
+        raise MarshalError(f"unknown variant tag {tag}")
+
+
+VARIANT = Variant()

@@ -1,0 +1,291 @@
+"""The ORB: servant registration, stubs, and request dispatch.
+
+Request wire format (after the transport's framing)::
+
+    Struct RequestHeader { key: string, operation: string }
+    <arguments, encoded per the operation signature>
+
+Reply wire format::
+
+    octet status   # 0 = ok, 1 = exception
+    <result per signature>            (status 0)
+    string exc_type; string message   (status 1)
+"""
+
+import itertools
+import traceback
+from typing import Optional, Union
+
+from repro.orb.cdr import CdrDecoder, CdrEncoder, String, Struct
+from repro.orb.exceptions import (
+    BadOperation,
+    CommunicationError,
+    ObjectNotFound,
+    OrbError,
+    RemoteInvocationError,
+)
+from repro.orb.idl import InterfaceDef, Operation
+from repro.orb.ior import INPROC, TCP, ObjectRef
+from repro.orb.transport import (
+    DEFAULT_DOMAIN,
+    InProcDomain,
+    InProcTransport,
+    TcpTransport,
+)
+
+_REQUEST_HEADER = Struct(
+    "RequestHeader", [("key", String), ("operation", String)]
+)
+
+_STATUS_OK = 0
+_STATUS_EXCEPTION = 1
+
+
+class Stub:
+    """Client-side proxy: marshals calls described by an InterfaceDef."""
+
+    def __init__(self, orb: "Orb", interface: InterfaceDef, ref: ObjectRef):
+        self._orb = orb
+        self._interface = interface
+        self._ref = ref
+
+    @property
+    def ref(self) -> ObjectRef:
+        return self._ref
+
+    def __getattr__(self, name: str):
+        operation = self._interface.operation(name)   # raises BadOperation
+
+        def call(*args):
+            return self._orb.invoke(self._ref, operation, args)
+
+        call.__name__ = name
+        # Cache on the instance so later lookups skip __getattr__.
+        object.__setattr__(self, name, call)
+        return call
+
+    def __repr__(self):
+        return f"Stub({self._interface.name}, key={self._ref.key!r})"
+
+
+class Orb:
+    """One Object Request Broker endpoint.
+
+    Every grid component (LRM, GRM, Trader, ...) owns an ORB; servants are
+    activated on it and receive an :class:`ObjectRef` that peers can
+    resolve into a :class:`Stub`.
+    """
+
+    _names = itertools.count()
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        domain: Optional[InProcDomain] = None,
+        tcp: bool = False,
+        tcp_host: str = "127.0.0.1",
+        tcp_port: int = 0,
+        credentials=None,
+        keyring=None,
+        require_auth: bool = False,
+    ):
+        if require_auth and keyring is None:
+            raise ValueError("require_auth needs a keyring to verify against")
+        self.name = name if name is not None else f"orb{next(self._names)}"
+        self.domain = domain if domain is not None else DEFAULT_DOMAIN
+        self._servants: dict[str, tuple] = {}
+        self._interfaces: dict[str, InterfaceDef] = {}
+        self._key_counter = itertools.count()
+        self.domain.register(self.name, self)
+        self._inproc = InProcTransport(self.name, self.domain)
+        self._tcp = TcpTransport(self, tcp_host, tcp_port) if tcp else None
+        self.requests_handled = 0
+        self._client_interceptors: list = []
+        self._server_interceptors: list = []
+        self.credentials = credentials
+        self.keyring = keyring
+        self.require_auth = require_auth
+        #: Principal of the request currently being dispatched (if any).
+        self.current_principal: Optional[str] = None
+
+    # -- servant side ---------------------------------------------------------
+
+    def activate(
+        self,
+        servant,
+        interface: InterfaceDef,
+        key: Optional[str] = None,
+    ) -> ObjectRef:
+        """Register a servant and return its reference."""
+        interface.validate_servant(servant)
+        if key is None:
+            key = f"{interface.name}/{next(self._key_counter)}"
+        if key in self._servants:
+            raise ValueError(f"object key {key!r} already active on {self.name}")
+        self._servants[key] = (servant, interface)
+        endpoints = [(INPROC, self._inproc.address)]
+        if self._tcp is not None:
+            endpoints.append((TCP, self._tcp.address))
+        return ObjectRef(interface.name, key, tuple(endpoints))
+
+    def deactivate(self, key: str) -> None:
+        """Remove a servant; subsequent calls get ObjectNotFound."""
+        if key not in self._servants:
+            raise ObjectNotFound(f"no servant with key {key!r} on {self.name}")
+        del self._servants[key]
+
+    def register_interface(self, interface: InterfaceDef) -> None:
+        """Make an interface resolvable by name (for stub construction)."""
+        self._interfaces[interface.name] = interface
+
+    # -- client side ------------------------------------------------------------
+
+    def stub(
+        self,
+        ref: Union[ObjectRef, str],
+        interface: Optional[InterfaceDef] = None,
+    ) -> Stub:
+        """Build a typed proxy for a reference (or stringified IOR)."""
+        if isinstance(ref, str):
+            ref = ObjectRef.from_string(ref)
+        if interface is None:
+            interface = self._interfaces.get(ref.interface)
+            if interface is None:
+                raise BadOperation(
+                    f"interface {ref.interface!r} is not registered with "
+                    f"{self.name}; pass it explicitly"
+                )
+        if interface.name != ref.interface:
+            raise BadOperation(
+                f"reference is for {ref.interface!r}, not {interface.name!r}"
+            )
+        return Stub(self, interface, ref)
+
+    def add_client_interceptor(self, interceptor) -> None:
+        """Observe outgoing requests: called with (ref, operation, args).
+
+        Interceptors are the CORBA-style hook for tracing and accounting;
+        they must not mutate the arguments.  Exceptions propagate to the
+        caller (useful for policy enforcement in tests).
+        """
+        self._client_interceptors.append(interceptor)
+
+    def add_server_interceptor(self, interceptor) -> None:
+        """Observe dispatched requests: called with (key, operation, args)."""
+        self._server_interceptors.append(interceptor)
+
+    def invoke(self, ref: ObjectRef, operation: Operation, args: tuple):
+        """Marshal and send one request; unmarshal the reply."""
+        if len(args) != len(operation.params):
+            raise TypeError(
+                f"{operation.name}() takes {len(operation.params)} "
+                f"arguments ({len(args)} given)"
+            )
+        for interceptor in self._client_interceptors:
+            interceptor(ref, operation, args)
+        enc = CdrEncoder()
+        _REQUEST_HEADER.encode(enc, {"key": ref.key, "operation": operation.name})
+        for param, arg in zip(operation.params, args):
+            param.idl_type.encode(enc, arg)
+        payload = enc.getvalue()
+        if self.credentials is not None:
+            payload = self.credentials.wrap(payload)
+
+        transport, address = self._route(ref)
+        reply = transport.invoke(address, payload, operation.oneway)
+        if operation.oneway:
+            return None
+        dec = CdrDecoder(reply)
+        status = dec.read_octet()
+        if status == _STATUS_OK:
+            return operation.returns.decode(dec)
+        exc_type = dec.read_string()
+        message = dec.read_string()
+        raise RemoteInvocationError(exc_type, message)
+
+    def _route(self, ref: ObjectRef):
+        """Pick a transport shared with the servant (in-proc preferred)."""
+        inproc = ref.endpoint_of_kind(INPROC)
+        if inproc is not None and inproc[1] in self.domain:
+            return self._inproc, inproc[1]
+        tcp = ref.endpoint_of_kind(TCP)
+        if tcp is not None and self._tcp is not None:
+            return self._tcp, tcp[1]
+        if tcp is not None:
+            raise CommunicationError(
+                f"{self.name} has no TCP transport to reach {tcp[1]}"
+            )
+        raise CommunicationError(
+            f"no usable endpoint for {ref.interface}:{ref.key}"
+        )
+
+    # -- dispatch (called by transports) ----------------------------------------
+
+    def handle_request_bytes(self, payload: bytes) -> bytes:
+        """Unmarshal, dispatch to the servant, marshal the reply.
+
+        When a keyring is configured, authenticated envelopes are
+        verified (and stripped) first; with ``require_auth`` every
+        unauthenticated request is rejected before dispatch.
+        """
+        self.requests_handled += 1
+        enc = CdrEncoder()
+        try:
+            self.current_principal = None
+            from repro.security.auth import is_authenticated
+            if self.keyring is not None and is_authenticated(payload):
+                principal, payload = self.keyring.unwrap(payload)
+                self.current_principal = principal
+            elif self.require_auth:
+                from repro.security.auth import AuthenticationError
+                raise AuthenticationError(
+                    "this ORB only accepts authenticated requests"
+                )
+            dec = CdrDecoder(payload)
+            header = _REQUEST_HEADER.decode(dec)
+            entry = self._servants.get(header["key"])
+            if entry is None:
+                raise ObjectNotFound(f"no servant with key {header['key']!r}")
+            servant, interface = entry
+            operation = interface.operation(header["operation"])
+            args = [p.idl_type.decode(dec) for p in operation.params]
+            for interceptor in self._server_interceptors:
+                interceptor(header["key"], operation, args)
+            result = getattr(servant, operation.name)(*args)
+            enc.write_octet(_STATUS_OK)
+            operation.returns.encode(enc, result)
+        except Exception as exc:   # marshalled back to the caller
+            enc = CdrEncoder()
+            enc.write_octet(_STATUS_EXCEPTION)
+            enc.write_string(type(exc).__name__)
+            enc.write_string(str(exc))
+        return enc.getvalue()
+
+    # -- lifecycle / metrics ------------------------------------------------------
+
+    def inproc_stats(self):
+        """The in-process transport's counters (server-side accounting)."""
+        return self._inproc.stats
+
+    @property
+    def tcp_address(self) -> Optional[str]:
+        return self._tcp.address if self._tcp is not None else None
+
+    def stats(self) -> dict:
+        """Aggregated transport statistics for this ORB."""
+        totals = self._inproc.stats.snapshot()
+        if self._tcp is not None:
+            for key, value in self._tcp.stats.snapshot().items():
+                totals[key] += value
+        totals["requests_handled"] = self.requests_handled
+        return totals
+
+    def shutdown(self) -> None:
+        """Close transports and unregister from the domain."""
+        self._inproc.close()
+        if self._tcp is not None:
+            self._tcp.close()
+        self._servants.clear()
+
+    def __repr__(self):
+        return f"Orb({self.name!r}, servants={len(self._servants)})"

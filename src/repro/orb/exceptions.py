@@ -1,0 +1,30 @@
+"""ORB exception hierarchy."""
+
+
+class OrbError(Exception):
+    """Base class for all ORB-level failures."""
+
+
+class MarshalError(OrbError):
+    """A value could not be encoded or decoded."""
+
+
+class ObjectNotFound(OrbError):
+    """No servant is registered under the requested object key."""
+
+
+class BadOperation(OrbError):
+    """The interface has no such operation."""
+
+
+class CommunicationError(OrbError):
+    """The transport failed to deliver a request or reply."""
+
+
+class RemoteInvocationError(OrbError):
+    """The servant raised; carries the remote exception type and message."""
+
+    def __init__(self, remote_type: str, message: str):
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message

@@ -1,0 +1,83 @@
+"""Interface definitions — the Python stand-in for CORBA IDL.
+
+An :class:`InterfaceDef` is the contract both sides share: the stub uses
+it to marshal requests and the skeleton (inside the ORB) to unmarshal
+them and marshal replies.  Signatures are table-driven over the type
+objects in :mod:`repro.orb.cdr`.
+"""
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.orb.cdr import IdlType, Void
+from repro.orb.exceptions import BadOperation
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One operation parameter."""
+
+    name: str
+    idl_type: IdlType
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One remotely invocable operation.
+
+    ``oneway`` operations return immediately without a reply, like CORBA's
+    oneway calls — used for fire-and-forget status updates.
+    """
+
+    name: str
+    params: tuple = ()
+    returns: IdlType = Void
+    oneway: bool = False
+
+    def __post_init__(self):
+        if self.oneway and self.returns is not Void:
+            raise ValueError(
+                f"oneway operation {self.name!r} cannot return a value"
+            )
+
+
+class InterfaceDef:
+    """A named set of operations."""
+
+    def __init__(self, name: str, operations: Sequence):
+        self.name = name
+        self._operations = {}
+        for op in operations:
+            if op.name in self._operations:
+                raise ValueError(
+                    f"duplicate operation {op.name!r} in interface {name!r}"
+                )
+            self._operations[op.name] = op
+
+    @property
+    def operations(self) -> dict:
+        return dict(self._operations)
+
+    def operation(self, name: str) -> Operation:
+        """Look up an operation or raise :class:`BadOperation`."""
+        try:
+            return self._operations[name]
+        except KeyError:
+            raise BadOperation(
+                f"interface {self.name!r} has no operation {name!r}"
+            ) from None
+
+    def validate_servant(self, servant) -> None:
+        """Check the servant implements every operation."""
+        missing = [
+            op for op in self._operations
+            if not callable(getattr(servant, op, None))
+        ]
+        if missing:
+            raise BadOperation(
+                f"servant {type(servant).__name__} does not implement "
+                f"{self.name!r} operations: {', '.join(sorted(missing))}"
+            )
+
+    def __repr__(self):
+        return f"InterfaceDef({self.name!r}, {len(self._operations)} ops)"

@@ -1,0 +1,92 @@
+"""Interoperable object references.
+
+An :class:`ObjectRef` identifies a servant: the interface it implements,
+its object key, and one or more transport endpoints.  References can be
+stringified ("IOR:..." hex, like CORBA) so they can be stored in the
+Naming service, the Trader, or configuration files.
+"""
+
+from dataclasses import dataclass
+
+from repro.orb.cdr import (
+    CdrDecoder,
+    CdrEncoder,
+    Sequence,
+    String,
+    Struct,
+)
+from repro.orb.exceptions import MarshalError
+
+_ENDPOINT = Struct("Endpoint", [("kind", String), ("address", String)])
+_REF = Struct(
+    "ObjectRef",
+    [
+        ("interface", String),
+        ("key", String),
+        ("endpoints", Sequence(_ENDPOINT)),
+    ],
+)
+
+INPROC = "inproc"
+TCP = "tcp"
+
+
+@dataclass(frozen=True)
+class ObjectRef:
+    """An immutable reference to a remote (or co-located) object.
+
+    ``endpoints`` is a tuple of (kind, address) pairs: ``("inproc",
+    "<orb name>")`` or ``("tcp", "host:port")``.  Multiple profiles let a
+    client pick whichever transport it shares with the servant.
+    """
+
+    interface: str
+    key: str
+    endpoints: tuple
+
+    def __post_init__(self):
+        if not self.endpoints:
+            raise ValueError("an object reference needs at least one endpoint")
+        for endpoint in self.endpoints:
+            if len(endpoint) != 2:
+                raise ValueError(f"malformed endpoint {endpoint!r}")
+
+    def endpoint_of_kind(self, kind: str):
+        """First endpoint of the given transport kind, or None."""
+        for ep_kind, address in self.endpoints:
+            if ep_kind == kind:
+                return (ep_kind, address)
+        return None
+
+    def to_string(self) -> str:
+        """Stringify to an ``IOR:<hex>`` form."""
+        enc = CdrEncoder()
+        _REF.encode(enc, {
+            "interface": self.interface,
+            "key": self.key,
+            "endpoints": [
+                {"kind": k, "address": a} for k, a in self.endpoints
+            ],
+        })
+        return "IOR:" + enc.getvalue().hex()
+
+    @classmethod
+    def from_string(cls, text: str) -> "ObjectRef":
+        """Parse an ``IOR:<hex>`` string back into a reference."""
+        if not text.startswith("IOR:"):
+            raise MarshalError(f"not an IOR string: {text[:16]!r}...")
+        try:
+            raw = bytes.fromhex(text[4:])
+        except ValueError as exc:
+            raise MarshalError(f"bad IOR hex payload: {exc}") from exc
+        fields = _REF.decode(CdrDecoder(raw))
+        return cls(
+            interface=fields["interface"],
+            key=fields["key"],
+            endpoints=tuple(
+                (ep["kind"], ep["address"]) for ep in fields["endpoints"]
+            ),
+        )
+
+    def __str__(self):
+        return self.to_string()

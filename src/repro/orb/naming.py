@@ -1,0 +1,85 @@
+"""Naming service — the CORBA Naming Service equivalent.
+
+Maps hierarchical names ("cluster0/grm") to stringified object
+references.  The service is itself a servant, so clusters can export it
+and peers can bootstrap from a single IOR.
+"""
+
+from typing import Optional
+
+from repro.orb.cdr import Boolean, Sequence, String, Void
+from repro.orb.idl import InterfaceDef, Operation, Parameter
+
+NAMING_INTERFACE = InterfaceDef(
+    "integrade/Naming",
+    [
+        Operation(
+            "bind",
+            (Parameter("name", String), Parameter("ior", String)),
+            Void,
+        ),
+        Operation(
+            "rebind",
+            (Parameter("name", String), Parameter("ior", String)),
+            Void,
+        ),
+        Operation("resolve", (Parameter("name", String),), String),
+        Operation("unbind", (Parameter("name", String),), Void),
+        Operation("bound", (Parameter("name", String),), Boolean),
+        Operation("list", (Parameter("prefix", String),), Sequence(String)),
+    ],
+)
+
+
+class NameNotFound(Exception):
+    """The requested name has no binding."""
+
+
+class NameAlreadyBound(Exception):
+    """bind() refuses to overwrite; use rebind()."""
+
+
+class NamingService:
+    """A flat store of hierarchical slash-separated names."""
+
+    def __init__(self):
+        self._bindings: dict[str, str] = {}
+
+    @staticmethod
+    def _check(name: str) -> str:
+        if not name or name.startswith("/") or name.endswith("/"):
+            raise ValueError(f"invalid name {name!r}")
+        return name
+
+    def bind(self, name: str, ior: str) -> None:
+        """Create a new binding; fails if the name is taken."""
+        name = self._check(name)
+        if name in self._bindings:
+            raise NameAlreadyBound(name)
+        self._bindings[name] = ior
+
+    def rebind(self, name: str, ior: str) -> None:
+        """Create or overwrite a binding."""
+        self._bindings[self._check(name)] = ior
+
+    def resolve(self, name: str) -> str:
+        """Return the IOR bound to ``name`` or raise NameNotFound."""
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise NameNotFound(name) from None
+
+    def unbind(self, name: str) -> None:
+        """Remove a binding or raise NameNotFound."""
+        try:
+            del self._bindings[name]
+        except KeyError:
+            raise NameNotFound(name) from None
+
+    def bound(self, name: str) -> bool:
+        """True iff the name has a binding."""
+        return name in self._bindings
+
+    def list(self, prefix: str) -> list:
+        """All bound names starting with ``prefix`` (sorted)."""
+        return sorted(n for n in self._bindings if n.startswith(prefix))

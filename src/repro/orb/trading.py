@@ -1,0 +1,157 @@
+"""Trading service — the CORBA Trader equivalent.
+
+The GRM "uses the JacORB Trader to store the information it receives from
+the LRMs" (paper, Section 5).  An offer is a service type, a reference,
+and a property list; queries filter offers with a constraint expression
+and rank them with a preference expression, both in the language of
+:mod:`repro.apps.constraints` (standing in for the OMG trader constraint
+language).
+"""
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.apps.constraints import Constraint, Preference
+from repro.orb.cdr import (
+    Long,
+    Sequence,
+    String,
+    Struct,
+    VARIANT,
+    Void,
+)
+from repro.orb.idl import InterfaceDef, Operation, Parameter
+
+OFFER_STRUCT = Struct(
+    "Offer",
+    [
+        ("offer_id", String),
+        ("service_type", String),
+        ("ior", String),
+        ("properties", VARIANT),
+    ],
+)
+
+TRADING_INTERFACE = InterfaceDef(
+    "integrade/Trading",
+    [
+        Operation(
+            "export",
+            (
+                Parameter("service_type", String),
+                Parameter("ior", String),
+                Parameter("properties", VARIANT),
+            ),
+            String,
+        ),
+        Operation(
+            "modify",
+            (Parameter("offer_id", String), Parameter("properties", VARIANT)),
+            Void,
+        ),
+        Operation("withdraw", (Parameter("offer_id", String),), Void),
+        Operation(
+            "query",
+            (
+                Parameter("service_type", String),
+                Parameter("constraint", String),
+                Parameter("preference", String),
+                Parameter("max_offers", Long),
+            ),
+            Sequence(OFFER_STRUCT),
+        ),
+    ],
+)
+
+
+class UnknownOffer(Exception):
+    """The offer id does not exist (already withdrawn?)."""
+
+
+@dataclass
+class Offer:
+    """One service offer held by the trader."""
+
+    offer_id: str
+    service_type: str
+    ior: str
+    properties: dict
+
+    def as_dict(self) -> dict:
+        return {
+            "offer_id": self.offer_id,
+            "service_type": self.service_type,
+            "ior": self.ior,
+            "properties": dict(self.properties),
+        }
+
+
+class TradingService:
+    """An in-memory trader with constraint queries and preference ranking."""
+
+    def __init__(self):
+        self._offers: dict[str, Offer] = {}
+        self._ids = itertools.count()
+
+    def export(self, service_type: str, ior: str, properties: Mapping[str, Any]) -> str:
+        """Register an offer; returns its id."""
+        if not service_type:
+            raise ValueError("service_type must be non-empty")
+        offer_id = f"offer{next(self._ids)}"
+        self._offers[offer_id] = Offer(
+            offer_id, service_type, ior, dict(properties)
+        )
+        return offer_id
+
+    def modify(self, offer_id: str, properties: Mapping[str, Any]) -> None:
+        """Replace an offer's property list (the LRM's periodic update)."""
+        offer = self._offers.get(offer_id)
+        if offer is None:
+            raise UnknownOffer(offer_id)
+        offer.properties = dict(properties)
+
+    def withdraw(self, offer_id: str) -> None:
+        """Remove an offer."""
+        if offer_id not in self._offers:
+            raise UnknownOffer(offer_id)
+        del self._offers[offer_id]
+
+    def query(
+        self,
+        service_type: str,
+        constraint: str = "",
+        preference: str = "",
+        max_offers: int = -1,
+    ) -> list:
+        """Matching offers as dicts, best-ranked first.
+
+        ``max_offers`` < 0 means unlimited.  Ties keep export order so
+        results are deterministic.
+        """
+        matcher = Constraint(constraint)
+        candidates = [
+            offer
+            for offer in self._offers.values()
+            if offer.service_type == service_type
+            and matcher.matches(offer.properties)
+        ]
+        if preference.strip():
+            rank = Preference(preference)
+            candidates.sort(
+                key=lambda o: rank.score(o.properties), reverse=True
+            )
+        if max_offers >= 0:
+            candidates = candidates[:max_offers]
+        return [offer.as_dict() for offer in candidates]
+
+    @property
+    def offer_count(self) -> int:
+        return len(self._offers)
+
+    def offer(self, offer_id: str) -> Offer:
+        """Direct lookup, mostly for tests and monitoring."""
+        try:
+            return self._offers[offer_id]
+        except KeyError:
+            raise UnknownOffer(offer_id) from None

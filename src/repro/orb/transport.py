@@ -1,0 +1,258 @@
+"""ORB transports.
+
+Two transports share one wire format (length-framed CDR payloads):
+
+* **in-process** — delivers requests synchronously between ORBs in the
+  same Python process via a registry ("domain").  This is what the grid
+  simulator uses: calls are instantaneous in simulated time, but every
+  message and byte is counted, so protocol-cost experiments stay honest.
+* **TCP** — real sockets with a 4-byte big-endian length prefix, used by
+  integration tests and the TCP microbenchmarks.
+"""
+
+import socket
+import struct
+import threading
+from typing import Optional
+
+from repro.orb.exceptions import CommunicationError
+
+_FRAME_HEADER = struct.Struct(">I")
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class TransportStats:
+    """Message and byte counters, kept per transport."""
+
+    def __init__(self):
+        self.requests_sent = 0
+        self.replies_received = 0
+        self.requests_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "requests_sent": self.requests_sent,
+            "replies_received": self.replies_received,
+            "requests_received": self.requests_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+
+
+class InProcDomain:
+    """A namespace of co-located ORBs that can call each other directly."""
+
+    def __init__(self):
+        self._orbs: dict[str, object] = {}
+
+    def register(self, name: str, orb) -> None:
+        if name in self._orbs:
+            raise ValueError(f"an ORB named {name!r} is already registered")
+        self._orbs[name] = orb
+
+    def unregister(self, name: str) -> None:
+        self._orbs.pop(name, None)
+
+    def lookup(self, name: str):
+        return self._orbs.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._orbs
+
+
+DEFAULT_DOMAIN = InProcDomain()
+
+
+class InProcTransport:
+    """Synchronous delivery between ORBs registered in the same domain."""
+
+    kind = "inproc"
+
+    def __init__(self, orb_name: str, domain: InProcDomain):
+        self.orb_name = orb_name
+        self.domain = domain
+        self.stats = TransportStats()
+
+    @property
+    def address(self) -> str:
+        return self.orb_name
+
+    def invoke(self, address: str, payload: bytes, oneway: bool) -> Optional[bytes]:
+        target = self.domain.lookup(address)
+        if target is None:
+            raise CommunicationError(f"no in-process ORB named {address!r}")
+        self.stats.requests_sent += 1
+        self.stats.bytes_sent += len(payload)
+        server_stats = target.inproc_stats()
+        server_stats.requests_received += 1
+        server_stats.bytes_received += len(payload)
+        reply = target.handle_request_bytes(payload)
+        if oneway:
+            return None
+        server_stats.bytes_sent += len(reply)
+        self.stats.replies_received += 1
+        self.stats.bytes_received += len(reply)
+        return reply
+
+    def close(self) -> None:
+        self.domain.unregister(self.orb_name)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise CommunicationError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_FRAME_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_frame(sock: socket.socket) -> bytes:
+    (length,) = _FRAME_HEADER.unpack(_recv_exact(sock, _FRAME_HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise CommunicationError(f"frame of {length} bytes exceeds limit")
+    return _recv_exact(sock, length)
+
+
+class TcpTransport:
+    """A real-socket transport: server thread plus cached client connections.
+
+    Frames carry one flag byte (1 = reply expected) before the CDR payload
+    so oneway requests do not generate replies.
+    """
+
+    kind = "tcp"
+
+    def __init__(self, orb, host: str = "127.0.0.1", port: int = 0):
+        self._orb = orb
+        self.stats = TransportStats()
+        self._server = socket.create_server((host, port))
+        self.host, self.port = self._server.getsockname()[:2]
+        self._closing = False
+        self._client_socks: dict[str, socket.socket] = {}
+        self._client_lock = threading.Lock()
+        # One lock per destination: a request/reply exchange must not
+        # interleave with another thread's frames on the same connection.
+        self._conn_locks: dict[str, threading.Lock] = {}
+        self._server_conns: list[socket.socket] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"orb-tcp-{self.port}", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- server side ---------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn, _addr = self._server.accept()
+            except OSError:
+                return   # server socket closed
+            self._server_conns.append(conn)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._closing:
+                try:
+                    frame = _recv_frame(conn)
+                except (CommunicationError, OSError):
+                    return
+                expects_reply = frame[0] == 1
+                payload = frame[1:]
+                self.stats.requests_received += 1
+                self.stats.bytes_received += len(payload)
+                reply = self._orb.handle_request_bytes(payload)
+                if expects_reply:
+                    try:
+                        _send_frame(conn, reply)
+                        self.stats.bytes_sent += len(reply)
+                    except OSError:
+                        return
+
+    # -- client side ---------------------------------------------------------
+
+    def _connection_to(self, address: str) -> socket.socket:
+        with self._client_lock:
+            sock = self._client_socks.get(address)
+            if sock is None:
+                host, _, port = address.rpartition(":")
+                try:
+                    sock = socket.create_connection((host, int(port)), timeout=10)
+                except OSError as exc:
+                    raise CommunicationError(
+                        f"cannot connect to {address}: {exc}"
+                    ) from exc
+                self._client_socks[address] = sock
+            return sock
+
+    def _drop_connection(self, address: str) -> None:
+        with self._client_lock:
+            sock = self._client_socks.pop(address, None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def invoke(self, address: str, payload: bytes, oneway: bool) -> Optional[bytes]:
+        with self._client_lock:
+            lock = self._conn_locks.setdefault(address, threading.Lock())
+        flag = b"\x00" if oneway else b"\x01"
+        with lock:
+            sock = self._connection_to(address)
+            try:
+                _send_frame(sock, flag + payload)
+                self.stats.requests_sent += 1
+                self.stats.bytes_sent += len(payload)
+                if oneway:
+                    return None
+                reply = _recv_frame(sock)
+            except (OSError, CommunicationError) as exc:
+                self._drop_connection(address)
+                raise CommunicationError(
+                    f"invoke on {address} failed: {exc}"
+                ) from exc
+        self.stats.replies_received += 1
+        self.stats.bytes_received += len(reply)
+        return reply
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        for conn in self._server_conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._server_conns.clear()
+        with self._client_lock:
+            for sock in self._client_socks.values():
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            self._client_socks.clear()

@@ -1,0 +1,23 @@
+"""Security: sandboxed task execution and request authentication."""
+
+from repro.security.auth import (
+    AuthenticationError,
+    Credentials,
+    KeyRing,
+    is_authenticated,
+)
+from repro.security.sandbox import (
+    Sandbox,
+    SandboxPolicy,
+    SandboxViolation,
+)
+
+__all__ = [
+    "AuthenticationError",
+    "Credentials",
+    "KeyRing",
+    "is_authenticated",
+    "Sandbox",
+    "SandboxPolicy",
+    "SandboxViolation",
+]

@@ -1,0 +1,118 @@
+"""Message authentication for ORB requests.
+
+Section 3 lists "authentication, and cryptography" among the security
+mechanisms under investigation.  This module provides shared-secret
+request authentication: a client ORB signs each request with an
+HMAC-SHA256 over the payload, and a server ORB configured to require
+authentication verifies the signature against its keyring before
+dispatching.  Tampering, unknown principals, and wrong keys are all
+rejected *before* any servant code runs.
+
+Envelope format (prepended to the CDR request payload)::
+
+    magic     "IGAU"          (4 bytes)
+    plen      u16 BE          principal length
+    principal UTF-8 bytes
+    signature 32 bytes        HMAC-SHA256(secret, principal || payload)
+    payload   original request bytes
+"""
+
+import hashlib
+import hmac
+import struct
+from typing import Optional, Tuple
+
+MAGIC = b"IGAU"
+_PLEN = struct.Struct(">H")
+_SIG_LEN = hashlib.sha256().digest_size
+
+
+class AuthenticationError(Exception):
+    """The request could not be authenticated."""
+
+
+class Credentials:
+    """A principal identity plus its shared secret (client side)."""
+
+    def __init__(self, principal: str, secret: bytes):
+        if not principal:
+            raise ValueError("principal must be non-empty")
+        if not secret:
+            raise ValueError("secret must be non-empty")
+        self.principal = principal
+        self._secret = bytes(secret)
+
+    def _signature(self, payload: bytes) -> bytes:
+        material = self.principal.encode("utf-8") + payload
+        return hmac.new(self._secret, material, hashlib.sha256).digest()
+
+    def wrap(self, payload: bytes) -> bytes:
+        """Sign a request payload into an authenticated envelope."""
+        principal = self.principal.encode("utf-8")
+        return (
+            MAGIC + _PLEN.pack(len(principal)) + principal
+            + self._signature(payload) + payload
+        )
+
+
+class KeyRing:
+    """Known principals and their secrets (server side)."""
+
+    def __init__(self):
+        self._secrets: dict[str, bytes] = {}
+
+    def add(self, principal: str, secret: bytes) -> None:
+        if not principal or not secret:
+            raise ValueError("principal and secret must be non-empty")
+        self._secrets[principal] = bytes(secret)
+
+    def remove(self, principal: str) -> None:
+        self._secrets.pop(principal, None)
+
+    def __contains__(self, principal: str) -> bool:
+        return principal in self._secrets
+
+    def credentials_for(self, principal: str) -> Credentials:
+        """Build client credentials from a held secret."""
+        try:
+            return Credentials(principal, self._secrets[principal])
+        except KeyError:
+            raise AuthenticationError(
+                f"no secret for principal {principal!r}"
+            ) from None
+
+    def unwrap(self, envelope: bytes) -> Tuple[str, bytes]:
+        """Verify an envelope; returns (principal, payload) or raises."""
+        if not envelope.startswith(MAGIC):
+            raise AuthenticationError("request is not authenticated")
+        offset = len(MAGIC)
+        if len(envelope) < offset + _PLEN.size:
+            raise AuthenticationError("truncated auth envelope")
+        (plen,) = _PLEN.unpack_from(envelope, offset)
+        offset += _PLEN.size
+        end_principal = offset + plen
+        end_signature = end_principal + _SIG_LEN
+        if len(envelope) < end_signature:
+            raise AuthenticationError("truncated auth envelope")
+        try:
+            principal = envelope[offset:end_principal].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise AuthenticationError(f"bad principal encoding: {exc}") from exc
+        signature = envelope[end_principal:end_signature]
+        payload = envelope[end_signature:]
+        secret = self._secrets.get(principal)
+        if secret is None:
+            raise AuthenticationError(f"unknown principal {principal!r}")
+        expected = hmac.new(
+            secret, principal.encode("utf-8") + payload, hashlib.sha256
+        ).digest()
+        if not hmac.compare_digest(signature, expected):
+            raise AuthenticationError(
+                f"bad signature for principal {principal!r}"
+            )
+        return principal, payload
+
+
+def is_authenticated(payload: bytes) -> bool:
+    """Does this request carry an authentication envelope?"""
+    return payload.startswith(MAGIC)

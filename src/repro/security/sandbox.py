@@ -1,0 +1,122 @@
+"""A capability-restricted execution context for grid tasks.
+
+Section 3: "ensure that users who decide to export its resources to the
+grid do not have its personal files and overall private information
+exposed or damaged in any way ... we are investigating the use of Java
+and general sandboxing".  The Python stand-in executes task code with a
+whitelisted builtin set (no ``open``, no ``__import__`` outside the
+allow-list), an execution budget, and an audit log of denied actions.
+"""
+
+import builtins as _builtins
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+#: Builtins that cannot touch the host: pure computation and data types.
+SAFE_BUILTINS = (
+    "abs", "all", "any", "bin", "bool", "bytearray", "bytes", "chr",
+    "complex", "dict", "divmod", "enumerate", "filter", "float", "format",
+    "frozenset", "hash", "hex", "int", "isinstance", "issubclass", "iter",
+    "len", "list", "map", "max", "min", "next", "oct", "ord", "pow",
+    "print", "range", "repr", "reversed", "round", "set", "slice",
+    "sorted", "str", "sum", "tuple", "zip", "ValueError", "TypeError",
+    "KeyError", "IndexError", "StopIteration", "ZeroDivisionError",
+    "ArithmeticError", "Exception",
+)
+
+
+class SandboxViolation(Exception):
+    """Task code attempted something the sandbox forbids."""
+
+
+@dataclass(frozen=True)
+class SandboxPolicy:
+    """What a grid task may do on a provider's machine."""
+
+    allowed_imports: Tuple[str, ...] = ("math",)
+    max_steps: int = 1_000_000           # traced line-events budget
+    allow_print: bool = False
+
+    def __post_init__(self):
+        if self.max_steps <= 0:
+            raise ValueError("max_steps must be positive")
+
+
+class Sandbox:
+    """Runs task source code under a :class:`SandboxPolicy`."""
+
+    def __init__(self, policy: Optional[SandboxPolicy] = None):
+        self.policy = policy if policy is not None else SandboxPolicy()
+        self.audit_log: list[str] = []
+
+    # -- capability surface -------------------------------------------------
+
+    def _denied(self, what: str):
+        def attempt(*_args, **_kwargs):
+            self.audit_log.append(f"denied: {what}")
+            raise SandboxViolation(f"{what} is not permitted in the sandbox")
+        return attempt
+
+    def _guarded_import(self, name, globals=None, locals=None,
+                        fromlist=(), level=0):
+        root = name.split(".")[0]
+        if root not in self.policy.allowed_imports:
+            self.audit_log.append(f"denied: import {name}")
+            raise SandboxViolation(f"import of {name!r} is not permitted")
+        self.audit_log.append(f"allowed: import {name}")
+        return _builtins.__import__(name, globals, locals, fromlist, level)
+
+    def _build_globals(self, inputs: dict) -> dict:
+        safe = {
+            name: getattr(_builtins, name) for name in SAFE_BUILTINS
+        }
+        if not self.policy.allow_print:
+            safe["print"] = self._denied("print")
+        safe["__import__"] = self._guarded_import
+        safe["open"] = self._denied("open")
+        safe["exec"] = self._denied("exec")
+        safe["eval"] = self._denied("eval")
+        safe["input"] = self._denied("input")
+        safe["globals"] = self._denied("globals")
+        safe["vars"] = self._denied("vars")
+        return {"__builtins__": safe, **dict(inputs)}
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, source: str, inputs: Optional[dict] = None) -> Any:
+        """Execute task ``source``; its ``result`` variable is returned.
+
+        ``inputs`` are exposed as global names.  Raises
+        :class:`SandboxViolation` on any forbidden action or when the
+        step budget is exhausted.
+        """
+        try:
+            code = compile(source, "<grid-task>", "exec")
+        except SyntaxError as exc:
+            raise SandboxViolation(f"task code does not compile: {exc}") from exc
+        task_globals = self._build_globals(inputs or {})
+        steps = 0
+
+        def tracer(frame, event, arg):
+            nonlocal steps
+            if event == "line":
+                steps += 1
+                if steps > self.policy.max_steps:
+                    self.audit_log.append("denied: step budget exhausted")
+                    raise SandboxViolation(
+                        f"exceeded step budget of {self.policy.max_steps}"
+                    )
+            return tracer
+
+        old_trace = sys.gettrace()
+        sys.settrace(tracer)
+        try:
+            exec(code, task_globals)      # noqa: S102 — that's the point
+        finally:
+            sys.settrace(old_trace)
+        if "result" not in task_globals:
+            raise SandboxViolation(
+                "task finished without assigning a 'result' variable"
+            )
+        return task_globals["result"]

@@ -1,0 +1,161 @@
+"""Deterministic discrete-event loop.
+
+Events are ordered by (time, sequence number), so two events scheduled for
+the same instant fire in scheduling order.  This guarantees bit-identical
+experiment runs for a given seed.
+"""
+
+import heapq
+from typing import Callable, Optional
+
+from repro.sim.clock import SimClock
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("when", "seq", "callback", "cancelled")
+
+    def __init__(self, when: float, seq: int, callback: Callable[[], None]):
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(when={self.when:.3f}, seq={self.seq}, {state})"
+
+
+class EventLoop:
+    """A heap-based discrete-event scheduler driving a :class:`SimClock`."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to fire at absolute time ``when``."""
+        if when < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: {when} < {self.clock.now}"
+            )
+        handle = EventHandle(when, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self.clock.now + delay, callback)
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if none remain."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.clock.advance_to(handle.when)
+            self._events_fired += 1
+            handle.callback()
+            return True
+        return False
+
+    def run_until(self, when: float) -> None:
+        """Run all events with time <= ``when``, then advance the clock."""
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.when > when:
+                break
+            self.step()
+        if when > self.clock.now:
+            self.clock.advance_to(when)
+
+    def run_for(self, duration: float) -> None:
+        """Run the simulation for ``duration`` seconds of simulated time."""
+        self.run_until(self.clock.now + duration)
+
+    def run(self, max_events: int = 1_000_000) -> None:
+        """Drain the event queue, with a runaway guard."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired >= max_events:
+                raise RuntimeError(
+                    f"event loop exceeded {max_events} events; "
+                    "likely an unbounded periodic task"
+                )
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        start_after: Optional[float] = None,
+    ) -> "PeriodicTask":
+        """Run ``callback`` every ``interval`` seconds until stopped."""
+        return PeriodicTask(self, interval, callback, start_after)
+
+
+class PeriodicTask:
+    """A repeating event; reschedules itself after every firing."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        interval: float,
+        callback: Callable[[], None],
+        start_after: Optional[float] = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._loop = loop
+        self.interval = interval
+        self._callback = callback
+        self._stopped = False
+        first = interval if start_after is None else start_after
+        self._handle = loop.schedule(first, self._fire)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._handle = self._loop.schedule(self.interval, self._fire)
+
+    def stop(self) -> None:
+        """Stop the task.  The callback will not fire again."""
+        self._stopped = True
+        self._handle.cancel()

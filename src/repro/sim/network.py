@@ -1,0 +1,197 @@
+"""Network topology model.
+
+The paper's requirements include scheduling on "the kind of network
+connection available in each part of the grid" — e.g. the request
+"two groups of 50 nodes, each group connected internally by a 100 Mbps
+network and the two groups connected by a 10 Mbps network".  This module
+models exactly that: LAN segments with internal bandwidth/latency, linked
+into a graph.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point or segment-internal link."""
+
+    bandwidth_mbps: float
+    latency_ms: float = 1.0
+
+    def __post_init__(self):
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_ms < 0:
+            raise ValueError("latency must be >= 0")
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` across this link."""
+        bits = nbytes * 8
+        return self.latency_ms / 1000.0 + bits / (self.bandwidth_mbps * 1e6)
+
+
+@dataclass
+class LanSegment:
+    """A broadcast domain: every member pair shares the internal link."""
+
+    name: str
+    internal: Link
+
+    def __hash__(self):
+        return hash(self.name)
+
+
+class NetworkTopology:
+    """Segments, their members, and inter-segment links."""
+
+    def __init__(self):
+        self._segments: dict[str, LanSegment] = {}
+        self._members: dict[str, str] = {}          # node -> segment name
+        self._edges: dict[str, dict[str, Link]] = {}  # segment adjacency
+
+    # -- construction -------------------------------------------------------
+
+    def add_segment(
+        self, name: str, bandwidth_mbps: float = 100.0, latency_ms: float = 1.0
+    ) -> LanSegment:
+        """Create a LAN segment."""
+        if name in self._segments:
+            raise ValueError(f"segment {name!r} already exists")
+        seg = LanSegment(name, Link(bandwidth_mbps, latency_ms))
+        self._segments[name] = seg
+        self._edges[name] = {}
+        return seg
+
+    def connect(
+        self,
+        seg_a: str,
+        seg_b: str,
+        bandwidth_mbps: float,
+        latency_ms: float = 5.0,
+    ) -> None:
+        """Join two segments with an inter-segment link."""
+        for s in (seg_a, seg_b):
+            if s not in self._segments:
+                raise KeyError(f"unknown segment {s!r}")
+        if seg_a == seg_b:
+            raise ValueError("cannot connect a segment to itself")
+        link = Link(bandwidth_mbps, latency_ms)
+        self._edges[seg_a][seg_b] = link
+        self._edges[seg_b][seg_a] = link
+
+    def place(self, node: str, segment: str) -> None:
+        """Attach a node to a segment."""
+        if segment not in self._segments:
+            raise KeyError(f"unknown segment {segment!r}")
+        self._members[node] = segment
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def segments(self) -> list[str]:
+        return list(self._segments)
+
+    def segment_internal(self, segment: str) -> Link:
+        """The internal link of a segment."""
+        try:
+            return self._segments[segment].internal
+        except KeyError:
+            raise KeyError(f"unknown segment {segment!r}") from None
+
+    def segment_of(self, node: str) -> str:
+        """The segment a node is attached to."""
+        try:
+            return self._members[node]
+        except KeyError:
+            raise KeyError(f"node {node!r} is not placed on the network") from None
+
+    def nodes_in(self, segment: str) -> list[str]:
+        """All nodes attached to ``segment``."""
+        return [n for n, s in self._members.items() if s == segment]
+
+    def path_between(self, node_a: str, node_b: str) -> Optional[list[str]]:
+        """Shortest segment path (by hop count), or None if disconnected."""
+        start = self.segment_of(node_a)
+        goal = self.segment_of(node_b)
+        if start == goal:
+            return [start]
+        prev: dict[str, Optional[str]] = {start: None}
+        queue = deque([start])
+        while queue:
+            cur = queue.popleft()
+            for nxt in self._edges[cur]:
+                if nxt in prev:
+                    continue
+                prev[nxt] = cur
+                if nxt == goal:
+                    path = [goal]
+                    while prev[path[-1]] is not None:
+                        path.append(prev[path[-1]])
+                    return list(reversed(path))
+                queue.append(nxt)
+        return None
+
+    def link_between(self, node_a: str, node_b: str) -> Optional[Link]:
+        """The effective link between two nodes.
+
+        Bandwidth is the minimum along the path (the bottleneck); latency
+        is the sum of per-hop latencies plus both segments' internal ones.
+        """
+        path = self.path_between(node_a, node_b)
+        if path is None:
+            return None
+        if len(path) == 1:
+            return self._segments[path[0]].internal
+        bandwidth = min(
+            self._segments[path[0]].internal.bandwidth_mbps,
+            self._segments[path[-1]].internal.bandwidth_mbps,
+        )
+        latency = (
+            self._segments[path[0]].internal.latency_ms
+            + self._segments[path[-1]].internal.latency_ms
+        )
+        for a, b in zip(path, path[1:]):
+            hop = self._edges[a][b]
+            bandwidth = min(bandwidth, hop.bandwidth_mbps)
+            latency += hop.latency_ms
+        return Link(bandwidth, latency)
+
+    def transfer_seconds(self, node_a: str, node_b: str, nbytes: int) -> float:
+        """Time to move ``nbytes`` between two nodes; inf if disconnected."""
+        if node_a == node_b:
+            return 0.0
+        link = self.link_between(node_a, node_b)
+        if link is None:
+            return float("inf")
+        return link.transfer_seconds(nbytes)
+
+
+def flat_lan(
+    node_names: list[str], bandwidth_mbps: float = 100.0, latency_ms: float = 1.0
+) -> NetworkTopology:
+    """Everyone on one switch — the common intra-cluster case."""
+    topo = NetworkTopology()
+    topo.add_segment("lan", bandwidth_mbps, latency_ms)
+    for node in node_names:
+        topo.place(node, "lan")
+    return topo
+
+
+def two_groups(
+    group_a: list[str],
+    group_b: list[str],
+    intra_mbps: float = 100.0,
+    inter_mbps: float = 10.0,
+) -> NetworkTopology:
+    """The paper's example: two fast groups joined by a slow link."""
+    topo = NetworkTopology()
+    topo.add_segment("group_a", intra_mbps)
+    topo.add_segment("group_b", intra_mbps)
+    topo.connect("group_a", "group_b", inter_mbps)
+    for node in group_a:
+        topo.place(node, "group_a")
+    for node in group_b:
+        topo.place(node, "group_b")
+    return topo

@@ -1,0 +1,191 @@
+"""Owner-activity trace recording and replay.
+
+Section 5: "We also started to collect information about node's usage
+in order to develop node usage patterns."  This module supports that
+workflow: record a workstation's owner activity to a portable text
+format, then replay it on a :class:`TraceWorkstation` — so experiments
+can run against captured (or hand-written) traces instead of the
+synthetic Markov model, with identical middleware behaviour.
+
+Trace format (one event per line, '#' comments allowed)::
+
+    # time_s present cpu_fraction mem_mb
+    0.0      0       0.0          0.0
+    28800.0  1       0.55         96.0
+    ...
+
+Events are step functions: each line holds until the next one.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.sim.events import EventLoop
+from repro.sim.machine import Machine, MachineSpec
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of owner state."""
+
+    time: float
+    present: bool
+    cpu_fraction: float
+    mem_mb: float
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ValueError("trace times must be >= 0")
+        if not 0.0 <= self.cpu_fraction <= 1.0:
+            raise ValueError(f"cpu_fraction out of range: {self.cpu_fraction}")
+        if self.mem_mb < 0:
+            raise ValueError("mem_mb must be >= 0")
+
+
+def dump_trace(events: Iterable[TraceEvent]) -> str:
+    """Render events to the portable text format."""
+    lines = ["# time_s present cpu_fraction mem_mb"]
+    for event in events:
+        lines.append(
+            f"{event.time:.1f} {int(event.present)} "
+            f"{event.cpu_fraction:.4f} {event.mem_mb:.1f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_trace(text: str) -> list:
+    """Parse the text format; validates ordering and values."""
+    events = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise ValueError(
+                f"line {lineno}: expected 4 fields, got {len(parts)}"
+            )
+        event = TraceEvent(
+            time=float(parts[0]),
+            present=bool(int(parts[1])),
+            cpu_fraction=float(parts[2]),
+            mem_mb=float(parts[3]),
+        )
+        if events and event.time <= events[-1].time:
+            raise ValueError(f"line {lineno}: times must strictly increase")
+        events.append(event)
+    return events
+
+
+class TraceRecorder:
+    """Records a workstation's owner transitions into TraceEvents."""
+
+    def __init__(self, workstation, sample_interval: float = 300.0):
+        self._workstation = workstation
+        self.events: list = []
+        self._last: Optional[tuple] = None
+        self._task = workstation.loop.every(
+            sample_interval, self._sample, start_after=0.0
+        )
+
+    def _sample(self) -> None:
+        machine = self._workstation.machine
+        state = (
+            self._workstation.owner_present,
+            round(machine.owner_cpu, 4),
+            round(machine.owner_mem_mb, 1),
+        )
+        if state == self._last:
+            return
+        self._last = state
+        self.events.append(TraceEvent(
+            time=self._workstation.loop.now,
+            present=state[0],
+            cpu_fraction=state[1],
+            mem_mb=state[2],
+        ))
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def dump(self) -> str:
+        return dump_trace(self.events)
+
+
+class TraceWorkstation:
+    """A workstation whose owner follows a recorded trace.
+
+    API-compatible with :class:`~repro.sim.workstation.Workstation` for
+    everything the LRM and LUPA use (machine, owner_present,
+    on_owner_change, stop); ``true_mean_presence`` is not available
+    since a trace has no generating distribution.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str,
+        events: list,
+        spec: Optional[MachineSpec] = None,
+        loop_trace: bool = False,
+    ):
+        if not events:
+            raise ValueError("a trace needs at least one event")
+        self.loop = loop
+        self.machine = Machine(name, spec)
+        self._events = list(events)
+        self._loop_trace = loop_trace
+        self._trace_span = self._events[-1].time + 1.0
+        self._index = 0
+        self._offset = 0.0
+        self._present = False
+        self._listeners: list[Callable] = []
+        self._stopped = False
+        self._apply(self._events[0])
+        self._index = 1
+        self._schedule_next()
+
+    @property
+    def name(self) -> str:
+        return self.machine.name
+
+    @property
+    def owner_present(self) -> bool:
+        return self._present
+
+    def on_owner_change(self, listener: Callable) -> None:
+        self._listeners.append(listener)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        if self._stopped:
+            return
+        if self._index >= len(self._events):
+            if not self._loop_trace:
+                return
+            self._offset += self._trace_span
+            self._index = 0
+        event = self._events[self._index]
+        when = self._offset + event.time
+        if when <= self.loop.now:
+            when = self.loop.now
+        self.loop.schedule_at(max(when, self.loop.now), self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        event = self._events[self._index]
+        self._index += 1
+        was_present = self._present
+        self._apply(event)
+        if was_present != self._present:
+            for listener in self._listeners:
+                listener(self._present)
+        self._schedule_next()
+
+    def _apply(self, event: TraceEvent) -> None:
+        self._present = event.present
+        mem = min(event.mem_mb, self.machine.spec.ram_mb)
+        self.machine.set_owner_load(event.cpu_fraction, mem, event.present)

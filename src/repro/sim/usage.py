@@ -1,0 +1,140 @@
+"""Synthetic owner-activity profiles.
+
+The paper expects LUPA's clustering to recover "common usage periods such
+as lunch-breaks, nights, holidays, working periods".  The profiles here
+generate traces with exactly that structure: a weekly presence schedule
+plus a Markov session model (so presence has realistic dwell times instead
+of flickering every sample).
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Tuple
+
+PresenceFn = Callable[[int, float], float]
+
+
+def _office_presence(day: int, hour: float) -> float:
+    """Classic 9-to-6 office schedule with a lunch dip."""
+    if day >= 5:                      # weekend
+        return 0.05
+    if 12.0 <= hour < 13.0:           # lunch break
+        return 0.15
+    if 9.0 <= hour < 18.0:            # working hours
+        return 0.90
+    if 8.0 <= hour < 9.0 or 18.0 <= hour < 19.0:
+        return 0.40                   # arrival / departure shoulder
+    return 0.02                       # night
+
+
+def _student_lab_presence(day: int, hour: float) -> float:
+    """Shared instructional lab: long moderately-busy days, open weekends."""
+    if day >= 5:
+        return 0.30 if 10.0 <= hour < 20.0 else 0.05
+    if 8.0 <= hour < 22.0:
+        return 0.60
+    return 0.05
+
+
+def _night_owl_presence(day: int, hour: float) -> float:
+    """A researcher who computes interactively at night."""
+    if 20.0 <= hour or hour < 2.0:
+        return 0.80
+    if 10.0 <= hour < 18.0:
+        return 0.10
+    return 0.03
+
+
+def _always_idle_presence(day: int, hour: float) -> float:
+    """A dedicated grid node: no interactive owner, ever."""
+    return 0.0
+
+
+def _erratic_presence(day: int, hour: float) -> float:
+    """No temporal structure at all — the adversarial case for LUPA."""
+    return 0.40
+
+
+@dataclass(frozen=True)
+class UsageProfile:
+    """Statistical description of a machine owner's behaviour.
+
+    ``presence`` maps (day-of-week, fractional hour) to the long-run
+    probability that the owner is at the machine.  When present, the owner
+    consumes CPU and memory drawn uniformly from the given ranges, fixed
+    per session.
+    """
+
+    name: str
+    presence: PresenceFn
+    cpu_range: Tuple[float, float] = (0.20, 0.80)
+    mem_fraction_range: Tuple[float, float] = (0.20, 0.60)
+    net_mbps_range: Tuple[float, float] = (0.1, 5.0)
+    mean_session_minutes: float = 45.0
+    holiday_factor: float = 0.05
+
+    def mean_presence(self, day: int, hour: float, holiday: bool = False) -> float:
+        """Expected presence probability, optionally discounted for holidays."""
+        p = self.presence(day % 7, hour % 24.0)
+        if holiday:
+            p *= self.holiday_factor
+        return min(1.0, max(0.0, p))
+
+    def transition_probs(self, mean: float, tick_minutes: float) -> Tuple[float, float]:
+        """(p_on, p_off) per tick of a two-state Markov presence chain.
+
+        Chosen so the chain's stationary distribution matches ``mean`` and
+        mean busy-session length matches ``mean_session_minutes``.
+        """
+        if mean <= 0.0:
+            return 0.0, 1.0
+        if mean >= 1.0:
+            return 1.0, 0.0
+        p_off = min(1.0, tick_minutes / self.mean_session_minutes)
+        p_on = min(1.0, p_off * mean / (1.0 - mean))
+        return p_on, p_off
+
+
+OFFICE_WORKER = UsageProfile(
+    name="office_worker",
+    presence=_office_presence,
+    cpu_range=(0.25, 0.75),
+    mem_fraction_range=(0.25, 0.60),
+    mean_session_minutes=50.0,
+)
+
+STUDENT_LAB = UsageProfile(
+    name="student_lab",
+    presence=_student_lab_presence,
+    cpu_range=(0.30, 0.90),
+    mem_fraction_range=(0.30, 0.70),
+    mean_session_minutes=35.0,
+)
+
+NIGHT_OWL = UsageProfile(
+    name="night_owl",
+    presence=_night_owl_presence,
+    cpu_range=(0.40, 0.95),
+    mem_fraction_range=(0.30, 0.70),
+    mean_session_minutes=90.0,
+)
+
+ALWAYS_IDLE = UsageProfile(
+    name="always_idle",
+    presence=_always_idle_presence,
+    cpu_range=(0.0, 0.0),
+    mem_fraction_range=(0.0, 0.0),
+    mean_session_minutes=1.0,
+)
+
+ERRATIC = UsageProfile(
+    name="erratic",
+    presence=_erratic_presence,
+    cpu_range=(0.10, 0.95),
+    mem_fraction_range=(0.10, 0.80),
+    mean_session_minutes=25.0,
+)
+
+PROFILES = {
+    p.name: p
+    for p in (OFFICE_WORKER, STUDENT_LAB, NIGHT_OWL, ALWAYS_IDLE, ERRATIC)
+}

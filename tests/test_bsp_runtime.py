@@ -1,0 +1,215 @@
+"""Unit tests for the executable BSP runtime (real computation)."""
+
+import pytest
+
+from repro.bsp.drma import Registers, UnregisteredVariable
+from repro.bsp.messages import MessageBuffers
+from repro.bsp.runtime import BspError, run_bsp
+
+
+class TestMessageBuffers:
+    def test_messages_visible_after_exchange(self):
+        buffers = MessageBuffers(2)
+        buffers.send(0, 1, "hello")
+        assert buffers.inbox(1) == []
+        buffers.exchange()
+        assert buffers.inbox(1) == ["hello"]
+
+    def test_double_buffering(self):
+        buffers = MessageBuffers(2)
+        buffers.send(0, 1, "first")
+        buffers.exchange()
+        buffers.send(0, 1, "second")
+        assert buffers.inbox(1) == ["first"]
+        buffers.exchange()
+        assert buffers.inbox(1) == ["second"]
+
+    def test_delivery_sorted_by_sender(self):
+        buffers = MessageBuffers(3)
+        buffers.send(2, 0, "from2")
+        buffers.send(1, 0, "from1")
+        buffers.exchange()
+        assert buffers.inbox(0) == ["from1", "from2"]
+
+    def test_bad_destination(self):
+        with pytest.raises(ValueError):
+            MessageBuffers(2).send(0, 5, "x")
+
+    def test_byte_accounting(self):
+        buffers = MessageBuffers(2)
+        buffers.send(0, 1, b"x" * 100)
+        buffers.send(0, 1, 3.14)
+        assert buffers.bytes_estimate == 108
+        assert buffers.messages_sent == 2
+
+
+class TestRegisters:
+    def test_put_applies_at_sync(self):
+        regs = Registers(2)
+        regs.register(0, "x", 0)
+        regs.put(1, 0, "x", 42)
+        assert regs.local_read(0, "x") == 0
+        regs.synchronize()
+        assert regs.local_read(0, "x") == 42
+
+    def test_get_reads_snapshot(self):
+        regs = Registers(2)
+        regs.register(0, "x", 1)
+        regs.synchronize()
+        regs.local_write(0, "x", 2)
+        assert regs.get(0, "x") == 1     # snapshot, not live value
+        regs.synchronize()
+        assert regs.get(0, "x") == 2
+
+    def test_get_returns_copy(self):
+        regs = Registers(1)
+        regs.register(0, "xs", [1, 2])
+        regs.synchronize()
+        regs.get(0, "xs").append(99)
+        assert regs.get(0, "xs") == [1, 2]
+
+    def test_unregistered_access(self):
+        regs = Registers(1)
+        with pytest.raises(UnregisteredVariable):
+            regs.local_read(0, "ghost")
+        with pytest.raises(UnregisteredVariable):
+            regs.get(0, "ghost")
+
+    def test_put_to_unregistered_fails_at_sync(self):
+        regs = Registers(2)
+        regs.put(0, 1, "ghost", 1)
+        with pytest.raises(UnregisteredVariable):
+            regs.synchronize()
+
+    def test_puts_applied_in_writer_order(self):
+        regs = Registers(3)
+        regs.register(0, "x", 0)
+        regs.put(2, 0, "x", 222)
+        regs.put(1, 0, "x", 111)
+        regs.synchronize()
+        assert regs.local_read(0, "x") == 222   # writer 2 applies last
+
+
+class TestRunBsp:
+    def test_parallel_sum(self):
+        def program(bsp, n):
+            lo = bsp.pid * n // bsp.nprocs
+            hi = (bsp.pid + 1) * n // bsp.nprocs
+            bsp.send(0, sum(range(lo, hi)))
+            bsp.sync()
+            if bsp.pid == 0:
+                return sum(bsp.messages())
+            return None
+
+        run = run_bsp(4, program, 1000)
+        assert run.results[0] == sum(range(1000))
+        assert run.supersteps >= 1
+        assert run.messages_sent == 4
+
+    def test_single_process(self):
+        run = run_bsp(1, lambda bsp: bsp.pid)
+        assert run.results == [0]
+
+    def test_all_pids_distinct(self):
+        run = run_bsp(8, lambda bsp: (bsp.pid, bsp.nprocs))
+        assert run.results == [(i, 8) for i in range(8)]
+
+    def test_drma_broadcast(self):
+        def program(bsp):
+            bsp.register("value", None)
+            if bsp.pid == 0:
+                for other in range(bsp.nprocs):
+                    bsp.put(other, "value", 42)
+            bsp.sync()
+            return bsp.read("value")
+
+        run = run_bsp(4, program)
+        assert run.results == [42] * 4
+        assert run.puts_applied == 4
+
+    def test_multi_superstep_ring(self):
+        # Pass a token around a ring; after nprocs supersteps it is home.
+        def program(bsp):
+            token = bsp.pid
+            for _ in range(bsp.nprocs):
+                bsp.send((bsp.pid + 1) % bsp.nprocs, token)
+                bsp.sync()
+                (token,) = bsp.messages()
+            return token
+
+        run = run_bsp(4, program)
+        assert run.results == [0, 1, 2, 3]
+        assert run.supersteps >= 4
+
+    def test_uneven_sync_counts_are_handled(self):
+        # pid 0 needs one extra superstep; the engine drains the others.
+        def program(bsp):
+            bsp.send(0, bsp.pid)
+            bsp.sync()
+            if bsp.pid == 0:
+                total = sum(bsp.messages())
+                bsp.sync()
+                return total
+            return None
+
+        run = run_bsp(4, program)
+        assert run.results[0] == 0 + 1 + 2 + 3
+
+    def test_process_exception_aborts_run(self):
+        def program(bsp):
+            if bsp.pid == 1:
+                raise ValueError("boom")
+            bsp.sync()
+            return bsp.pid
+
+        with pytest.raises(BspError) as excinfo:
+            run_bsp(3, program)
+        assert "pid 1" in str(excinfo.value)
+        assert "boom" in str(excinfo.value)
+
+    def test_deterministic_message_order(self):
+        def program(bsp):
+            if bsp.pid != 0:
+                bsp.send(0, bsp.pid)
+            bsp.sync()
+            if bsp.pid == 0:
+                return bsp.messages()
+            return None
+
+        for _ in range(5):
+            run = run_bsp(6, program)
+            assert run.results[0] == [1, 2, 3, 4, 5]
+
+    def test_matrix_vector_product(self):
+        import random
+        n = 8
+        rng = random.Random(1)
+        matrix = [[rng.randint(0, 9) for _ in range(n)] for _ in range(n)]
+        vector = [rng.randint(0, 9) for _ in range(n)]
+        expected = [
+            sum(matrix[i][j] * vector[j] for j in range(n)) for i in range(n)
+        ]
+
+        def program(bsp, matrix, vector):
+            rows = range(
+                bsp.pid * n // bsp.nprocs, (bsp.pid + 1) * n // bsp.nprocs
+            )
+            partial = {
+                i: sum(matrix[i][j] * vector[j] for j in range(n))
+                for i in rows
+            }
+            bsp.send(0, partial)
+            bsp.sync()
+            if bsp.pid == 0:
+                merged = {}
+                for part in bsp.messages():
+                    merged.update(part)
+                return [merged[i] for i in range(n)]
+            return None
+
+        run = run_bsp(4, program, matrix, vector)
+        assert run.results[0] == expected
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            run_bsp(0, lambda bsp: None)

@@ -1,0 +1,188 @@
+"""Unit tests for portable checkpointing and rollback recovery."""
+
+import pytest
+
+from repro.checkpoint.recovery import RecoveryManager
+from repro.checkpoint.serializer import (
+    CheckpointCorrupted,
+    deserialize,
+    serialize,
+)
+from repro.checkpoint.store import FileCheckpointStore, MemoryCheckpointStore
+
+
+class TestSerializer:
+    @pytest.mark.parametrize("state", [
+        {},
+        {"progress_mips": 1234.5},
+        {"superstep": 7, "registers": {"x": [1, 2, 3]}, "blob": b"\x00\xff"},
+        {"nested": {"deep": [{"a": None}, True, 2.5]}},
+    ])
+    def test_roundtrip(self, state):
+        assert deserialize(serialize(state)) == state
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TypeError):
+            serialize([1, 2, 3])
+
+    def test_unserializable_state_rejected(self):
+        with pytest.raises(TypeError):
+            serialize({"fn": lambda: None})
+
+    def test_truncated_data(self):
+        data = serialize({"x": 1})
+        with pytest.raises(CheckpointCorrupted):
+            deserialize(data[:10])
+
+    def test_bit_flip_detected(self):
+        data = bytearray(serialize({"x": 1}))
+        data[len(data) // 2] ^= 0xFF
+        with pytest.raises(CheckpointCorrupted):
+            deserialize(bytes(data))
+
+    def test_bad_magic(self):
+        data = bytearray(serialize({"x": 1}))
+        data[0:4] = b"NOPE"
+        with pytest.raises(CheckpointCorrupted):
+            deserialize(bytes(data))
+
+    def test_format_is_deterministic(self):
+        # Byte-identical output enables cross-node content comparison.
+        assert serialize({"a": 1, "b": 2.0}) == serialize({"a": 1, "b": 2.0})
+
+
+class TestMemoryStore:
+    def test_save_and_load(self):
+        store = MemoryCheckpointStore()
+        store.save("t1", {"progress_mips": 10.0}, now=5.0)
+        record = store.load_latest("t1")
+        assert record.sequence == 1
+        assert record.time == 5.0
+        assert record.state()["progress_mips"] == 10.0
+
+    def test_latest_wins(self):
+        store = MemoryCheckpointStore()
+        store.save("t1", {"p": 1}, 1.0)
+        store.save("t1", {"p": 2}, 2.0)
+        assert store.load_latest("t1").state()["p"] == 2
+        assert store.load_latest("t1").sequence == 2
+
+    def test_history_limit(self):
+        store = MemoryCheckpointStore(keep_history=2)
+        for i in range(5):
+            store.save("t1", {"p": i}, float(i))
+        assert len(store._records["t1"]) == 2
+
+    def test_missing_task(self):
+        assert MemoryCheckpointStore().load_latest("ghost") is None
+
+    def test_discard(self):
+        store = MemoryCheckpointStore()
+        store.save("t1", {"p": 1}, 1.0)
+        store.discard("t1")
+        assert store.load_latest("t1") is None
+        store.discard("t1")   # idempotent
+
+    def test_accounting(self):
+        store = MemoryCheckpointStore()
+        store.save("t1", {"p": 1}, 1.0)
+        store.save("t2", {"p": 2}, 1.0)
+        assert store.saves == 2
+        assert store.bytes_written > 0
+        assert store.task_ids == ["t1", "t2"]
+
+
+class TestFileStore:
+    def test_save_and_load(self, tmp_path):
+        store = FileCheckpointStore(str(tmp_path))
+        store.save("job0.1", {"progress_mips": 42.0}, now=7.0)
+        record = store.load_latest("job0.1")
+        assert record.task_id == "job0.1"
+        assert record.time == 7.0
+        assert record.state()["progress_mips"] == 42.0
+
+    def test_survives_new_store_instance(self, tmp_path):
+        FileCheckpointStore(str(tmp_path)).save("t1", {"p": 9}, 1.0)
+        fresh = FileCheckpointStore(str(tmp_path))
+        assert fresh.load_latest("t1").state()["p"] == 9
+
+    def test_discard_removes_file(self, tmp_path):
+        store = FileCheckpointStore(str(tmp_path))
+        store.save("t1", {"p": 1}, 1.0)
+        store.discard("t1")
+        assert store.load_latest("t1") is None
+        assert store.task_ids == []
+
+    def test_task_ids(self, tmp_path):
+        store = FileCheckpointStore(str(tmp_path))
+        store.save("a", {}, 0.0)
+        store.save("b", {}, 0.0)
+        assert store.task_ids == ["a", "b"]
+
+    def test_corrupted_file_detected(self, tmp_path):
+        store = FileCheckpointStore(str(tmp_path))
+        store.save("t1", {"p": 1}, 1.0)
+        path = store._path("t1")
+        with open(path, "r+b") as f:
+            f.seek(12)
+            f.write(b"\xff\xff\xff")
+        with pytest.raises(CheckpointCorrupted):
+            store.load_latest("t1")
+
+    def test_unsafe_task_ids_sanitised(self, tmp_path):
+        store = FileCheckpointStore(str(tmp_path))
+        store.save("../evil/path", {"p": 1}, 1.0)
+        files = list(tmp_path.iterdir())
+        assert len(files) == 1
+        assert files[0].parent == tmp_path
+
+
+class TestRecoveryManager:
+    def test_no_checkpoints_means_scratch(self):
+        recovery = RecoveryManager("j", ["a", "b"])
+        assert recovery.consistent_superstep() is None
+        assert recovery.rollback_point() == 0
+
+    def test_consistent_cut(self):
+        recovery = RecoveryManager("j", ["a", "b"])
+        recovery.record_checkpoint("a", 2)
+        recovery.record_checkpoint("b", 2)
+        recovery.record_checkpoint("a", 4)
+        # b never saved superstep 4: the cut stays at 2.
+        assert recovery.consistent_superstep() == 2
+        assert recovery.rollback_point() == 2
+
+    def test_cut_advances_when_all_catch_up(self):
+        recovery = RecoveryManager("j", ["a", "b"])
+        for superstep in (2, 4):
+            recovery.record_checkpoint("a", superstep)
+            recovery.record_checkpoint("b", superstep)
+        assert recovery.consistent_superstep() == 4
+
+    def test_one_empty_member_blocks(self):
+        recovery = RecoveryManager("j", ["a", "b"])
+        recovery.record_checkpoint("a", 2)
+        assert recovery.consistent_superstep() is None
+
+    def test_unknown_member(self):
+        recovery = RecoveryManager("j", ["a"])
+        with pytest.raises(KeyError):
+            recovery.record_checkpoint("ghost", 1)
+
+    def test_superstep_must_increase(self):
+        recovery = RecoveryManager("j", ["a"])
+        recovery.record_checkpoint("a", 3)
+        with pytest.raises(ValueError):
+            recovery.record_checkpoint("a", 3)
+
+    def test_prune(self):
+        recovery = RecoveryManager("j", ["a", "b"])
+        for superstep in (2, 4, 6):
+            recovery.record_checkpoint("a", superstep)
+            recovery.record_checkpoint("b", superstep)
+        recovery.prune_before(4)
+        assert recovery.consistent_superstep() == 6
+
+    def test_needs_members(self):
+        with pytest.raises(ValueError):
+            RecoveryManager("j", [])

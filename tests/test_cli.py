@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInformationCommands:
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        for name in ("office_worker", "night_owl", "erratic"):
+            assert name in out
+
+    def test_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("first_fit", "pattern_aware", "random"):
+            assert name in out
+
+
+class TestDemo:
+    def test_demo_runs_to_completion(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Job state: completed" in out
+        assert "ORB traffic" in out
+
+
+class TestSimulate:
+    def test_small_simulation(self, capsys):
+        code = main([
+            "simulate", "--nodes", "3", "--jobs", "2",
+            "--train-days", "0", "--work-hours", "0.5",
+            "--policy", "first_fit", "--horizon-days", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jobs completed" in out
+        assert "2/2" in out
+
+    def test_dedicated_nodes_flag(self, capsys):
+        code = main([
+            "simulate", "--nodes", "0", "--dedicated", "2", "--jobs", "1",
+            "--train-days", "0", "--work-hours", "0.2",
+            "--policy", "first_fit", "--horizon-days", "1",
+        ])
+        assert code == 0
+        assert "1/1" in capsys.readouterr().out
+
+    def test_report_prints_saved_tables(self, capsys, tmp_path):
+        (tmp_path / "e1.txt").write_text("E1 table\nrow\n")
+        (tmp_path / "e2.txt").write_text("E2 table\nrow\n")
+        assert main(["report", "--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "E1 table" in out and "E2 table" in out
+        assert "2 experiment tables" in out
+
+    def test_report_missing_dir(self, capsys, tmp_path):
+        assert main(
+            ["report", "--results-dir", str(tmp_path / "nope")]
+        ) == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--policy", "clairvoyant"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,150 @@
+"""Unit tests for the Node Control Center."""
+
+import pytest
+
+from repro.core.ncc import (
+    BlackoutWindow,
+    DEFAULT_POLICY,
+    NodeControlCenter,
+    SharingPolicy,
+    VACATE_POLICY,
+    thirty_percent_policy,
+)
+from repro.sim.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR, SimClock
+from repro.sim.machine import ResourceSample
+
+
+def sample(cpu_owner=0.0, keyboard=False):
+    return ResourceSample(
+        time=0.0, cpu_total=cpu_owner, cpu_owner=cpu_owner, cpu_grid=0.0,
+        mem_used_mb=0.0, mem_owner_mb=0.0, mem_grid_mb=0.0,
+        disk_used_mb=0.0, net_owner_mbps=0.0, keyboard_active=keyboard,
+    )
+
+
+class TestBlackoutWindow:
+    def test_covers_hours(self):
+        window = BlackoutWindow(9.0, 17.0)
+        assert window.covers(0, 12.0)
+        assert not window.covers(0, 8.0)
+        assert not window.covers(0, 17.0)   # end-exclusive
+
+    def test_day_restriction(self):
+        window = BlackoutWindow(9.0, 17.0, days=(0, 1))
+        assert window.covers(1, 10.0)
+        assert not window.covers(4, 10.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"start_hour": -1.0, "end_hour": 5.0},
+        {"start_hour": 5.0, "end_hour": 25.0},
+        {"start_hour": 10.0, "end_hour": 9.0},
+        {"start_hour": 9.0, "end_hour": 17.0, "days": (7,)},
+    ])
+    def test_invalid_windows(self, kwargs):
+        with pytest.raises(ValueError):
+            BlackoutWindow(**kwargs)
+
+
+class TestSharingPolicy:
+    def test_default_policy_is_permissive_when_idle(self):
+        assert DEFAULT_POLICY.enabled
+        assert DEFAULT_POLICY.cpu_cap_idle == 1.0
+
+    def test_vacate_policy(self):
+        assert VACATE_POLICY.vacate_on_owner_return
+        assert VACATE_POLICY.cpu_cap_active == 0.0
+
+    def test_thirty_percent_policy_matches_paper_example(self):
+        policy = thirty_percent_policy(ram_mb=256.0)
+        assert policy.cpu_cap_idle == pytest.approx(0.30)
+        assert policy.mem_cap_mb == pytest.approx(128.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"cpu_cap_idle": 1.5},
+        {"cpu_cap_active": -0.1},
+        {"mem_cap_mb": -1.0},
+        {"idle_owner_cpu_below": 2.0},
+    ])
+    def test_invalid_policies(self, kwargs):
+        with pytest.raises(ValueError):
+            SharingPolicy(**kwargs)
+
+
+class TestNodeControlCenter:
+    def test_sharing_now_default(self):
+        ncc = NodeControlCenter(SimClock())
+        assert ncc.sharing_now()
+
+    def test_disabled_policy(self):
+        ncc = NodeControlCenter(SimClock(), SharingPolicy(enabled=False))
+        assert not ncc.sharing_now()
+        ok, reason = ncc.admission_check(False, 0.1)
+        assert not ok
+        assert "disabled" in reason
+
+    def test_blackout_blocks_sharing(self):
+        clock = SimClock(10 * SECONDS_PER_HOUR)   # Monday 10:00
+        policy = SharingPolicy(blackouts=(BlackoutWindow(9.0, 17.0),))
+        ncc = NodeControlCenter(clock, policy)
+        assert ncc.in_blackout()
+        assert not ncc.sharing_now()
+        ok, reason = ncc.admission_check(False, 0.1)
+        assert not ok and "blackout" in reason
+
+    def test_blackout_respects_day(self):
+        saturday_10am = 5 * SECONDS_PER_DAY + 10 * SECONDS_PER_HOUR
+        clock = SimClock(saturday_10am)
+        policy = SharingPolicy(
+            blackouts=(BlackoutWindow(9.0, 17.0, days=(0, 1, 2, 3, 4)),)
+        )
+        ncc = NodeControlCenter(clock, policy)
+        assert ncc.sharing_now()
+
+    def test_cpu_cap_by_owner_state(self):
+        ncc = NodeControlCenter(
+            SimClock(), SharingPolicy(cpu_cap_idle=0.9, cpu_cap_active=0.2)
+        )
+        assert ncc.cpu_cap(owner_present=False) == 0.9
+        assert ncc.cpu_cap(owner_present=True) == 0.2
+
+    def test_admission_respects_cap(self):
+        ncc = NodeControlCenter(
+            SimClock(), SharingPolicy(cpu_cap_idle=0.5)
+        )
+        ok, _ = ncc.admission_check(False, 0.5)
+        assert ok
+        ok, reason = ncc.admission_check(False, 0.6)
+        assert not ok and "exceeds cap" in reason
+
+    def test_admission_zero_active_cap(self):
+        ncc = NodeControlCenter(SimClock(), VACATE_POLICY)
+        ok, reason = ncc.admission_check(True, 0.1)
+        assert not ok and "owner present" in reason
+
+    def test_should_vacate(self):
+        vacate = NodeControlCenter(SimClock(), VACATE_POLICY)
+        share = NodeControlCenter(SimClock(), DEFAULT_POLICY)
+        assert vacate.should_vacate(owner_present=True)
+        assert not vacate.should_vacate(owner_present=False)
+        assert not share.should_vacate(owner_present=True)
+
+    def test_idleness_definition(self):
+        ncc = NodeControlCenter(SimClock())
+        assert ncc.considered_idle(sample(cpu_owner=0.05, keyboard=False))
+        assert not ncc.considered_idle(sample(cpu_owner=0.05, keyboard=True))
+        assert not ncc.considered_idle(sample(cpu_owner=0.5, keyboard=False))
+
+    def test_custom_idleness_threshold(self):
+        ncc = NodeControlCenter(
+            SimClock(),
+            SharingPolicy(idle_owner_cpu_below=0.5,
+                          idle_requires_no_keyboard=False),
+        )
+        assert ncc.considered_idle(sample(cpu_owner=0.3, keyboard=True))
+
+    def test_mem_cap(self):
+        ncc = NodeControlCenter(
+            SimClock(), SharingPolicy(mem_cap_mb=64.0)
+        )
+        assert ncc.mem_cap_mb() == 64.0
+        assert NodeControlCenter(SimClock()).mem_cap_mb() is None

@@ -1,0 +1,109 @@
+"""Unit tests for the reservation ledger."""
+
+import pytest
+
+from repro.core.reservation import ReservationLedger
+from repro.sim.events import EventLoop
+from repro.sim.machine import InsufficientResources, Machine, MachineSpec
+
+
+@pytest.fixture
+def env():
+    loop = EventLoop()
+    machine = Machine("n0", MachineSpec(mips=1000, ram_mb=256))
+    return loop, machine, ReservationLedger(loop, machine)
+
+
+def test_reserve_claims_resources(env):
+    loop, machine, ledger = env
+    ledger.reserve("t1", 0.5, 64.0)
+    assert machine.grid_cpu == pytest.approx(0.5)
+    assert ledger.holds("t1")
+    assert not ledger.get("t1").confirmed
+
+
+def test_duplicate_reservation_rejected(env):
+    _, _, ledger = env
+    ledger.reserve("t1", 0.2, 8.0)
+    with pytest.raises(ValueError):
+        ledger.reserve("t1", 0.2, 8.0)
+
+
+def test_insufficient_resources_counted(env):
+    loop, machine, ledger = env
+    machine.set_owner_load(0.9, 0.0, True)
+    with pytest.raises(InsufficientResources):
+        ledger.reserve("t1", 0.5, 8.0)
+    assert ledger.refused_count == 1
+    assert not ledger.holds("t1")
+
+
+def test_unconfirmed_reservation_expires(env):
+    loop, machine, ledger = env
+    ledger.reserve("t1", 0.5, 64.0, lease_seconds=60.0)
+    loop.run_until(61.0)
+    assert not ledger.holds("t1")
+    assert machine.grid_cpu == 0.0
+    assert ledger.expired_count == 1
+
+
+def test_confirmed_reservation_survives_lease(env):
+    loop, machine, ledger = env
+    ledger.reserve("t1", 0.5, 64.0, lease_seconds=60.0)
+    ledger.confirm("t1")
+    loop.run_until(3600.0)
+    assert ledger.holds("t1")
+    assert ledger.get("t1").confirmed
+    assert machine.grid_cpu == pytest.approx(0.5)
+
+
+def test_confirm_is_idempotent(env):
+    loop, _, ledger = env
+    ledger.reserve("t1", 0.5, 64.0)
+    ledger.confirm("t1")
+    ledger.confirm("t1")
+
+
+def test_release_frees_resources(env):
+    loop, machine, ledger = env
+    ledger.reserve("t1", 0.5, 64.0)
+    ledger.release("t1")
+    assert machine.grid_cpu == 0.0
+    loop.run_until(3600.0)   # expiry event must be a no-op
+    assert ledger.expired_count == 0
+
+
+def test_release_unknown_task(env):
+    _, _, ledger = env
+    with pytest.raises(KeyError):
+        ledger.release("ghost")
+
+
+def test_confirm_unknown_task(env):
+    _, _, ledger = env
+    with pytest.raises(KeyError):
+        ledger.confirm("ghost")
+
+
+def test_invalid_lease(env):
+    _, _, ledger = env
+    with pytest.raises(ValueError):
+        ledger.reserve("t1", 0.5, 64.0, lease_seconds=0.0)
+
+
+def test_multiple_reservations_tracked(env):
+    loop, machine, ledger = env
+    ledger.reserve("t1", 0.3, 32.0)
+    ledger.reserve("t2", 0.3, 32.0)
+    assert len(ledger.active) == 2
+    assert machine.grid_cpu == pytest.approx(0.6)
+
+
+def test_expiry_only_hits_its_own_lease(env):
+    loop, machine, ledger = env
+    ledger.reserve("t1", 0.3, 32.0, lease_seconds=60.0)
+    ledger.reserve("t2", 0.3, 32.0, lease_seconds=600.0)
+    ledger.confirm("t2")
+    loop.run_until(120.0)
+    assert not ledger.holds("t1")
+    assert ledger.holds("t2")

@@ -1,0 +1,67 @@
+"""Smoke tests: every example must run clean from a fresh interpreter.
+
+The examples are documentation; a broken one is a broken promise.  Each
+runs as a subprocess (so import side effects and __main__ guards are
+exercised exactly as a user would hit them) and must exit 0 with its
+signature line in the output.  The render farm is marked slow.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+FAST_EXAMPLES = {
+    "quickstart.py": "Final state: completed",
+    "bsp_parallel_applications.py": "grid job",
+    "usage_prediction.py": "GUPA idle-span predictions",
+    "campus_grid.py": "wide-area placements",
+    "virtual_topology.py": "inter-group bandwidth: 10 Mbps",
+    "sandboxed_tasks.py": "sandbox violation",
+    "cluster_dashboard.py": "jobs completed",
+    "trace_workflow.py": "Idle forecasts from the replay-trained profile",
+}
+
+
+def run_example(name, timeout=120):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name,signature", sorted(FAST_EXAMPLES.items()))
+def test_example_runs_clean(name, signature):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert signature in result.stdout, (
+        f"{name} output missing {signature!r}:\n{result.stdout[-2000:]}"
+    )
+    assert result.stderr == ""
+
+
+@pytest.mark.slow
+def test_render_farm_example():
+    result = run_example("render_farm.py", timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "Render batch" in result.stdout
+
+
+def test_every_example_is_covered():
+    """A new example file must be added to this smoke suite."""
+    on_disk = {
+        name for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py")
+    }
+    covered = set(FAST_EXAMPLES) | {"render_farm.py"}
+    assert on_disk == covered, (
+        f"uncovered examples: {sorted(on_disk - covered)}; "
+        f"stale entries: {sorted(covered - on_disk)}"
+    )

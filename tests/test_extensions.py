@@ -1,0 +1,169 @@
+"""Tests for later extensions: user preferences in placement, holiday
+detection, and TCP transport thread-safety."""
+
+import random
+import threading
+
+import pytest
+
+from repro import ApplicationSpec, Grid, MachineSpec
+from repro.core.lupa import Lupa
+from repro.orb.cdr import Double
+from repro.orb.core import Orb
+from repro.orb.idl import InterfaceDef, Operation, Parameter
+from repro.orb.transport import InProcDomain
+from repro.sim.clock import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_WEEK,
+)
+from repro.sim.events import EventLoop
+from repro.sim.machine import MachineSpec as Spec
+from repro.sim.usage import OFFICE_WORKER
+from repro.sim.workstation import Workstation
+
+
+class TestUserPreferencePlacement:
+    def build(self, preference):
+        grid = Grid(seed=1, policy="first_fit", lupa_enabled=False)
+        grid.add_cluster("c0")
+        grid.add_node("c0", "small", spec=MachineSpec(mips=600, ram_mb=64),
+                      dedicated=True)
+        grid.add_node("c0", "big", spec=MachineSpec(mips=2000, ram_mb=512),
+                      dedicated=True)
+        grid.run_for(120)
+        job_id = grid.submit(ApplicationSpec(
+            name="t", work_mips=1e5, preference=preference,
+        ))
+        grid.run_for(600)
+        return grid.job(job_id).tasks[0].node
+
+    def test_prefer_fast_cpu(self):
+        # first_fit alone would pick "small" (registration order); the
+        # user preference overrides it.
+        assert self.build("mips") == "big"
+
+    def test_prefer_small_memory_footprint_nodes(self):
+        assert self.build("-ram_mb") == "small"
+
+    def test_no_preference_keeps_policy_order(self):
+        assert self.build("") == "small"
+
+    def test_preference_on_gang_jobs(self):
+        grid = Grid(seed=1, policy="first_fit", lupa_enabled=False)
+        grid.add_cluster("c0")
+        for i in range(2):
+            grid.add_node("c0", f"slow{i}", spec=MachineSpec(mips=500),
+                          dedicated=True)
+        for i in range(2):
+            grid.add_node("c0", f"fast{i}", spec=MachineSpec(mips=2000),
+                          dedicated=True)
+        grid.run_for(120)
+        job_id = grid.submit(ApplicationSpec(
+            name="gang", kind="bsp", tasks=2, program="p", work_mips=1e5,
+            preference="mips", metadata={"supersteps": 2},
+        ))
+        grid.run_for(SECONDS_PER_HOUR)
+        nodes = {t.node for t in grid.job(job_id).tasks}
+        assert nodes == {"fast0", "fast1"}
+
+
+class TestHolidayDetection:
+    def trained_pair(self, holidays=frozenset(), weeks=3, seed=3):
+        loop = EventLoop()
+        workstation = Workstation(
+            loop, "ws", spec=Spec(), profile=OFFICE_WORKER,
+            rng=random.Random(seed), holidays=set(holidays),
+        )
+        machine = workstation.machine
+        lupa = Lupa(
+            loop, "ws",
+            probe=lambda: 1.0 if (
+                machine.keyboard_active or machine.owner_cpu >= 0.1
+            ) else 0.0,
+            min_history_days=7,
+        )
+        loop.run_until(weeks * SECONDS_PER_WEEK)
+        return loop, lupa
+
+    def test_normal_weekday_scores_low(self):
+        loop, lupa = self.trained_pair()
+        # Run into Tuesday noon of the next week (a normal busy day).
+        loop.run_until(loop.now + SECONDS_PER_DAY + 12 * SECONDS_PER_HOUR)
+        assert lupa.holiday_likelihood() < 0.6
+
+    def test_holiday_scores_high_by_noon(self):
+        # Day 22 (Tuesday of week 4) is a holiday: the owner stays home.
+        holiday_day = 22
+        loop, lupa = self.trained_pair(holidays={holiday_day})
+        loop.run_until(holiday_day * SECONDS_PER_DAY + 12 * SECONDS_PER_HOUR)
+        assert lupa.holiday_likelihood() > 0.8
+
+    def test_adaptive_prediction_discounts_holiday(self):
+        holiday_day = 22
+        loop, lupa = self.trained_pair(holidays={holiday_day})
+        loop.run_until(holiday_day * SECONDS_PER_DAY + 12 * SECONDS_PER_HOUR)
+        afternoon = holiday_day * SECONDS_PER_DAY + 14 * SECONDS_PER_HOUR
+        assert lupa.predict_busy(afternoon) > 0.5, "profile says busy"
+        assert lupa.predict_busy_adaptive(afternoon) < 0.3, \
+            "but today is observably a holiday"
+
+    def test_adaptive_prediction_leaves_other_days_alone(self):
+        holiday_day = 22
+        loop, lupa = self.trained_pair(holidays={holiday_day})
+        loop.run_until(holiday_day * SECONDS_PER_DAY + 12 * SECONDS_PER_HOUR)
+        tomorrow = (holiday_day + 1) * SECONDS_PER_DAY + 10 * SECONDS_PER_HOUR
+        assert lupa.predict_busy_adaptive(tomorrow) == \
+            lupa.predict_busy(tomorrow)
+
+    def test_unlearned_lupa_scores_zero(self):
+        loop = EventLoop()
+        lupa = Lupa(loop, "n", probe=lambda: 0.0)
+        assert lupa.holiday_likelihood() == 0.0
+
+
+SLOW_ECHO = InterfaceDef(
+    "test/SlowEcho",
+    [Operation("echo", (Parameter("x", Double),), Double)],
+)
+
+
+class _Echo:
+    def echo(self, x):
+        return x * 2.0
+
+
+class TestTcpThreadSafety:
+    def test_concurrent_callers_share_one_connection(self):
+        server = Orb("mt-server", domain=InProcDomain(), tcp=True)
+        client = Orb("mt-client", domain=InProcDomain(), tcp=True)
+        try:
+            ref = server.activate(_Echo(), SLOW_ECHO)
+            stub = client.stub(ref, SLOW_ECHO)
+            stub.echo(0.0)   # warm the connection
+            errors = []
+            results = {}
+
+            def worker(tid):
+                try:
+                    for i in range(50):
+                        value = float(tid * 1000 + i)
+                        got = stub.echo(value)
+                        if got != value * 2.0:
+                            errors.append((value, got))
+                    results[tid] = True
+                except Exception as exc:   # noqa: BLE001
+                    errors.append(repr(exc))
+
+            threads = [
+                threading.Thread(target=worker, args=(t,)) for t in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors, errors[:5]
+            assert len(results) == 6
+        finally:
+            server.shutdown()
+            client.shutdown()

@@ -1,0 +1,159 @@
+"""Wire-shape conformance: every dict a component emits must marshal
+under its declared protocol struct, exactly.
+
+These tests catch field drift — adding a field to ``Lrm.status()``
+without extending ``NODE_STATUS`` (or vice versa) fails here before it
+fails deep inside an integration run.
+"""
+
+import random
+
+import pytest
+
+from repro.apps.spec import (
+    ApplicationSpec,
+    NodeGroupRequest,
+    ResourceRequirements,
+    VirtualTopologyRequest,
+)
+from repro.core.lrm import Lrm
+from repro.core.ncc import NodeControlCenter
+from repro.core.protocols import (
+    CLUSTER_SUMMARY,
+    NODE_STATUS,
+    RESERVATION_REPLY,
+    RESERVATION_REQUEST,
+    TASK_LAUNCH,
+)
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+from repro.sim.events import EventLoop
+from repro.sim.machine import MachineSpec
+from repro.sim.workstation import Workstation
+
+
+def roundtrip(struct, value):
+    enc = CdrEncoder()
+    struct.encode(enc, value)
+    return struct.decode(CdrDecoder(enc.getvalue()))
+
+
+def struct_fields(struct):
+    return {name for name, _ in struct.fields}
+
+
+class TestNodeStatusConformance:
+    def make_lrm(self):
+        loop = EventLoop()
+        ws = Workstation(loop, "n0", spec=MachineSpec(),
+                         rng=random.Random(1))
+        return Lrm(loop, ws, NodeControlCenter(loop.clock))
+
+    def test_lrm_status_marshals_exactly(self):
+        status = self.make_lrm().status()
+        assert roundtrip(NODE_STATUS, status) == pytest.approx(status)
+
+    def test_no_extra_fields(self):
+        # A field in status() missing from NODE_STATUS silently vanishes
+        # on the wire; flag it.
+        status = self.make_lrm().status()
+        assert set(status) == struct_fields(NODE_STATUS)
+
+
+class TestClusterSummaryConformance:
+    def test_grm_summary_marshals_exactly(self):
+        from repro import Grid
+
+        grid = Grid(seed=1, lupa_enabled=False)
+        grid.add_cluster("c0")
+        grid.add_node("c0", "d0", dedicated=True)
+        grid.run_for(120)
+        summary = grid.clusters["c0"].grm.cluster_summary()
+        assert roundtrip(CLUSTER_SUMMARY, summary) == pytest.approx(summary)
+        assert set(summary) == struct_fields(CLUSTER_SUMMARY)
+
+    def test_parent_aggregate_marshals_exactly(self):
+        from repro import Grid
+
+        grid = Grid(seed=1, lupa_enabled=False)
+        grid.add_cluster("c0")
+        grid.add_node("c0", "d0", dedicated=True)
+        parent, _ = grid.connect_clusters_to_parent()
+        grid.run_for(120)
+        aggregate = parent.aggregate_summary()
+        assert roundtrip(CLUSTER_SUMMARY, aggregate) == \
+            pytest.approx(aggregate)
+        assert set(aggregate) == struct_fields(CLUSTER_SUMMARY)
+
+
+class TestRequestShapes:
+    def test_grm_reservation_request_matches_struct(self):
+        # The exact dict Grm._reserve_on builds, field for field.
+        request = {
+            "task_id": "j.0", "cpu_fraction": 1.0, "mem_mb": 16.0,
+            "disk_mb": 0.0, "lease_seconds": 120.0,
+        }
+        assert set(request) == struct_fields(RESERVATION_REQUEST)
+        assert roundtrip(RESERVATION_REQUEST, request) == request
+
+    def test_lrm_reply_matches_struct(self):
+        loop = EventLoop()
+        ws = Workstation(loop, "n0", spec=MachineSpec(),
+                         rng=random.Random(1))
+        lrm = Lrm(loop, ws, NodeControlCenter(loop.clock))
+        reply = lrm.request_reservation({
+            "task_id": "t", "cpu_fraction": 0.5, "mem_mb": 8.0,
+            "disk_mb": 0.0, "lease_seconds": 60.0,
+        })
+        assert set(reply) == struct_fields(RESERVATION_REPLY)
+        assert roundtrip(RESERVATION_REPLY, reply) == reply
+
+    def test_grm_launch_matches_struct(self):
+        launch = {
+            "task_id": "j.0", "job_id": "j", "work_mips": 1e6,
+            "initial_progress_mips": 0.0, "checkpoint_interval_s": 0.0,
+            "payload": "",
+        }
+        assert set(launch) == struct_fields(TASK_LAUNCH)
+        assert roundtrip(TASK_LAUNCH, launch) == launch
+
+
+class TestSpecDictRoundtrip:
+    @pytest.mark.parametrize("spec", [
+        ApplicationSpec(name="plain"),
+        ApplicationSpec(name="reqs", tasks=3, work_mips=5e6,
+                        requirements=ResourceRequirements(
+                            min_mips=500, min_ram_mb=16, os="linux",
+                            min_net_mbps=10.0, extra="cpu_free >= 0.5",
+                        ),
+                        preference="mips",
+                        metadata={"checkpoint_interval_s": 600.0}),
+        ApplicationSpec(name="bsp", kind="bsp", tasks=4, program="p",
+                        checkpoint_every_supersteps=2,
+                        metadata={"supersteps": 8}),
+        ApplicationSpec(
+            name="topo", kind="bsp", tasks=4, program="p",
+            topology=VirtualTopologyRequest(
+                groups=(NodeGroupRequest(2, 100.0),
+                        NodeGroupRequest(2, 100.0)),
+                inter_bandwidth_mbps=10.0,
+            ),
+        ),
+    ])
+    def test_to_dict_from_dict_identity(self, spec):
+        assert ApplicationSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dict_form_is_variant_marshallable(self):
+        from repro.orb.cdr import VARIANT
+
+        spec = ApplicationSpec(
+            name="x", kind="bsp", tasks=2, program="p",
+            topology=VirtualTopologyRequest(
+                groups=(NodeGroupRequest(1, 100.0),
+                        NodeGroupRequest(1, 100.0)),
+                inter_bandwidth_mbps=10.0,
+            ),
+        )
+        enc = CdrEncoder()
+        VARIANT.encode(enc, spec.to_dict())
+        decoded = VARIANT.decode(CdrDecoder(enc.getvalue()))
+        assert ApplicationSpec.from_dict(decoded) == spec

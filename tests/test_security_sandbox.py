@@ -1,0 +1,105 @@
+"""Unit tests for the grid-task sandbox."""
+
+import pytest
+
+from repro.security.sandbox import Sandbox, SandboxPolicy, SandboxViolation
+
+
+class TestBasicExecution:
+    def test_computes_result(self):
+        result = Sandbox().run("result = sum(range(10))")
+        assert result == 45
+
+    def test_inputs_exposed(self):
+        result = Sandbox().run("result = x * y", inputs={"x": 6, "y": 7})
+        assert result == 42
+
+    def test_missing_result_rejected(self):
+        with pytest.raises(SandboxViolation):
+            Sandbox().run("x = 1")
+
+    def test_syntax_error(self):
+        with pytest.raises(SandboxViolation):
+            Sandbox().run("result = ((")
+
+    def test_allowed_import(self):
+        result = Sandbox().run("import math\nresult = math.sqrt(16)")
+        assert result == 4.0
+
+
+class TestCapabilityDenials:
+    def test_open_denied(self):
+        sandbox = Sandbox()
+        with pytest.raises(SandboxViolation):
+            sandbox.run("result = open('/etc/passwd').read()")
+        assert any("open" in entry for entry in sandbox.audit_log)
+
+    def test_disallowed_import_denied(self):
+        sandbox = Sandbox()
+        with pytest.raises(SandboxViolation):
+            sandbox.run("import os\nresult = os.getcwd()")
+        assert any("import os" in entry for entry in sandbox.audit_log)
+
+    def test_exec_and_eval_denied(self):
+        with pytest.raises(SandboxViolation):
+            Sandbox().run("result = eval('1+1')")
+        with pytest.raises(SandboxViolation):
+            Sandbox().run("exec('x = 1')\nresult = 1")
+
+    def test_print_denied_by_default(self):
+        with pytest.raises(SandboxViolation):
+            Sandbox().run("print('hi')\nresult = 1")
+
+    def test_print_allowed_by_policy(self, capsys):
+        sandbox = Sandbox(SandboxPolicy(allow_print=True))
+        assert sandbox.run("print('hi')\nresult = 1") == 1
+        assert capsys.readouterr().out == "hi\n"
+
+    def test_custom_import_whitelist(self):
+        sandbox = Sandbox(SandboxPolicy(allowed_imports=("json",)))
+        result = sandbox.run("import json\nresult = json.dumps([1])")
+        assert result == "[1]"
+        with pytest.raises(SandboxViolation):
+            sandbox.run("import math\nresult = 1")
+
+    def test_dunder_builtins_open_is_the_denier(self):
+        # Even via __builtins__, 'open' resolves to the denier function.
+        with pytest.raises(SandboxViolation):
+            Sandbox().run("result = __builtins__['open']('/etc/passwd')")
+
+
+class TestResourceBudget:
+    def test_step_budget_enforced(self):
+        sandbox = Sandbox(SandboxPolicy(max_steps=100))
+        with pytest.raises(SandboxViolation) as excinfo:
+            sandbox.run("result = 0\nwhile True:\n    result += 1")
+        assert "budget" in str(excinfo.value)
+
+    def test_budget_allows_normal_work(self):
+        sandbox = Sandbox(SandboxPolicy(max_steps=100_000))
+        assert sandbox.run(
+            "result = 0\nfor i in range(1000):\n    result += i"
+        ) == sum(range(1000))
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            SandboxPolicy(max_steps=0)
+
+    def test_trace_restored_after_run(self):
+        import sys
+        before = sys.gettrace()
+        Sandbox().run("result = 1")
+        assert sys.gettrace() is before
+
+
+class TestAuditLog:
+    def test_allowed_imports_logged(self):
+        sandbox = Sandbox()
+        sandbox.run("import math\nresult = 1")
+        assert any("allowed: import math" in e for e in sandbox.audit_log)
+
+    def test_denials_logged(self):
+        sandbox = Sandbox()
+        with pytest.raises(SandboxViolation):
+            sandbox.run("result = open('x')")
+        assert sandbox.audit_log == ["denied: open"]

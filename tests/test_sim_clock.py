@@ -1,0 +1,89 @@
+"""Unit tests for the simulated clock and its calendar helpers."""
+
+import pytest
+
+from repro.sim.clock import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_WEEK,
+    SimClock,
+)
+
+
+def test_starts_at_epoch_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_custom_start():
+    assert SimClock(100.0).now == 100.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance_to_moves_forward():
+    clock = SimClock()
+    clock.advance_to(42.0)
+    assert clock.now == 42.0
+
+
+def test_advance_backwards_rejected():
+    clock = SimClock(10.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(5.0)
+
+
+def test_advance_to_same_time_is_ok():
+    clock = SimClock(10.0)
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+
+
+def test_epoch_is_monday_midnight():
+    clock = SimClock()
+    assert clock.day_of_week() == 0
+    assert clock.day_name() == "monday"
+    assert clock.hour_of_day() == 0.0
+
+
+def test_day_of_week_cycles():
+    clock = SimClock()
+    clock.advance_to(5 * SECONDS_PER_DAY)
+    assert clock.day_name() == "saturday"
+    clock.advance_to(7 * SECONDS_PER_DAY)
+    assert clock.day_name() == "monday"
+
+
+def test_hour_of_day():
+    clock = SimClock(13.5 * SECONDS_PER_HOUR)
+    assert clock.hour_of_day() == pytest.approx(13.5)
+
+
+def test_second_of_day_wraps():
+    clock = SimClock(SECONDS_PER_DAY + 61.0)
+    assert clock.second_of_day() == pytest.approx(61.0)
+
+
+def test_week_index():
+    clock = SimClock()
+    assert clock.week_index() == 0
+    clock.advance_to(3 * SECONDS_PER_WEEK + 5)
+    assert clock.week_index() == 3
+
+
+def test_is_weekend():
+    clock = SimClock()
+    assert not clock.is_weekend()
+    assert clock.is_weekend(5 * SECONDS_PER_DAY)
+    assert clock.is_weekend(6 * SECONDS_PER_DAY)
+    assert not clock.is_weekend(7 * SECONDS_PER_DAY)
+
+
+def test_helpers_accept_explicit_when():
+    clock = SimClock()
+    assert clock.day_of_week(2 * SECONDS_PER_DAY) == 2
+    assert clock.hour_of_day(6 * SECONDS_PER_HOUR) == pytest.approx(6.0)
+    # the clock itself did not move
+    assert clock.now == 0.0

@@ -1,0 +1,171 @@
+"""Unit tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim.events import EventLoop
+
+
+def test_schedule_and_step():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(5.0, lambda: fired.append(loop.now))
+    assert loop.step()
+    assert fired == [5.0]
+    assert loop.now == 5.0
+
+
+def test_step_returns_false_when_empty():
+    assert not EventLoop().step()
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    order = []
+    loop.schedule(3.0, lambda: order.append("c"))
+    loop.schedule(1.0, lambda: order.append("a"))
+    loop.schedule(2.0, lambda: order.append("b"))
+    loop.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    loop = EventLoop()
+    order = []
+    for label in "abcde":
+        loop.schedule(1.0, lambda lab=label: order.append(lab))
+    loop.run()
+    assert order == list("abcde")
+
+
+def test_schedule_in_past_rejected():
+    loop = EventLoop()
+    loop.schedule(1.0, lambda: None)
+    loop.run()
+    with pytest.raises(ValueError):
+        loop.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        EventLoop().schedule(-1.0, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    loop = EventLoop()
+    fired = []
+    handle = loop.schedule(1.0, lambda: fired.append(1))
+    handle.cancel()
+    loop.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    loop = EventLoop()
+    handle = loop.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    loop.run()
+
+
+def test_run_until_stops_at_boundary():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: fired.append(1))
+    loop.schedule(2.0, lambda: fired.append(2))
+    loop.schedule(3.0, lambda: fired.append(3))
+    loop.run_until(2.0)
+    assert fired == [1, 2]
+    assert loop.now == 2.0
+    loop.run()
+    assert fired == [1, 2, 3]
+
+
+def test_run_until_advances_clock_even_without_events():
+    loop = EventLoop()
+    loop.run_until(100.0)
+    assert loop.now == 100.0
+
+
+def test_run_for_is_relative():
+    loop = EventLoop()
+    loop.run_until(10.0)
+    loop.run_for(5.0)
+    assert loop.now == 15.0
+
+
+def test_events_scheduled_during_run_fire():
+    loop = EventLoop()
+    fired = []
+
+    def first():
+        loop.schedule(1.0, lambda: fired.append("second"))
+        fired.append("first")
+
+    loop.schedule(1.0, first)
+    loop.run()
+    assert fired == ["first", "second"]
+
+
+def test_runaway_guard():
+    loop = EventLoop()
+
+    def rearm():
+        loop.schedule(1.0, rearm)
+
+    loop.schedule(1.0, rearm)
+    with pytest.raises(RuntimeError):
+        loop.run(max_events=100)
+
+
+def test_periodic_task_fires_repeatedly():
+    loop = EventLoop()
+    ticks = []
+    loop.every(10.0, lambda: ticks.append(loop.now))
+    loop.run_until(35.0)
+    assert ticks == [10.0, 20.0, 30.0]
+
+
+def test_periodic_task_start_after():
+    loop = EventLoop()
+    ticks = []
+    loop.every(10.0, lambda: ticks.append(loop.now), start_after=0.0)
+    loop.run_until(25.0)
+    assert ticks == [0.0, 10.0, 20.0]
+
+
+def test_periodic_task_stop():
+    loop = EventLoop()
+    ticks = []
+    task = loop.every(10.0, lambda: ticks.append(loop.now))
+    loop.run_until(25.0)
+    task.stop()
+    loop.run_until(100.0)
+    assert ticks == [10.0, 20.0]
+    assert task.stopped
+
+
+def test_periodic_task_can_stop_itself():
+    loop = EventLoop()
+    ticks = []
+
+    def tick():
+        ticks.append(loop.now)
+        if len(ticks) == 2:
+            task.stop()
+
+    task = loop.every(1.0, tick)
+    loop.run()
+    assert ticks == [1.0, 2.0]
+
+
+def test_invalid_interval_rejected():
+    with pytest.raises(ValueError):
+        EventLoop().every(0.0, lambda: None)
+
+
+def test_events_fired_counter():
+    loop = EventLoop()
+    for _ in range(4):
+        loop.schedule(1.0, lambda: None)
+    loop.run()
+    assert loop.events_fired == 4

@@ -1,0 +1,118 @@
+"""Unit tests for the network topology model."""
+
+import pytest
+
+from repro.sim.network import Link, NetworkTopology, flat_lan, two_groups
+
+
+class TestLink:
+    def test_transfer_time(self):
+        link = Link(bandwidth_mbps=100.0, latency_ms=1.0)
+        # 1 MB at 100 Mbps = 8e6 bits / 1e8 bps = 0.08 s, plus 1 ms latency.
+        assert link.transfer_seconds(1_000_000) == pytest.approx(0.081)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth_mbps=0.0)
+
+    def test_negative_latency(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth_mbps=10.0, latency_ms=-1.0)
+
+
+class TestTopologyConstruction:
+    def test_duplicate_segment_rejected(self):
+        topo = NetworkTopology()
+        topo.add_segment("lan")
+        with pytest.raises(ValueError):
+            topo.add_segment("lan")
+
+    def test_connect_unknown_segment(self):
+        topo = NetworkTopology()
+        topo.add_segment("a")
+        with pytest.raises(KeyError):
+            topo.connect("a", "ghost", 10.0)
+
+    def test_self_connection_rejected(self):
+        topo = NetworkTopology()
+        topo.add_segment("a")
+        with pytest.raises(ValueError):
+            topo.connect("a", "a", 10.0)
+
+    def test_place_on_unknown_segment(self):
+        with pytest.raises(KeyError):
+            NetworkTopology().place("n1", "ghost")
+
+    def test_segment_of_unplaced_node(self):
+        topo = NetworkTopology()
+        topo.add_segment("lan")
+        with pytest.raises(KeyError):
+            topo.segment_of("ghost")
+
+
+class TestQueries:
+    def test_same_segment_link(self):
+        topo = flat_lan(["a", "b"], bandwidth_mbps=100.0, latency_ms=2.0)
+        link = topo.link_between("a", "b")
+        assert link.bandwidth_mbps == 100.0
+        assert link.latency_ms == 2.0
+
+    def test_cross_segment_bottleneck(self):
+        topo = two_groups(["a1"], ["b1"], intra_mbps=100.0, inter_mbps=10.0)
+        link = topo.link_between("a1", "b1")
+        assert link.bandwidth_mbps == 10.0
+        assert link.latency_ms > 0
+
+    def test_nodes_in_segment(self):
+        topo = two_groups(["a1", "a2"], ["b1"])
+        assert sorted(topo.nodes_in("group_a")) == ["a1", "a2"]
+        assert topo.nodes_in("group_b") == ["b1"]
+
+    def test_disconnected_segments(self):
+        topo = NetworkTopology()
+        topo.add_segment("x")
+        topo.add_segment("y")
+        topo.place("n1", "x")
+        topo.place("n2", "y")
+        assert topo.link_between("n1", "n2") is None
+        assert topo.transfer_seconds("n1", "n2", 1000) == float("inf")
+
+    def test_transfer_to_self_is_free(self):
+        topo = flat_lan(["a"])
+        assert topo.transfer_seconds("a", "a", 10**9) == 0.0
+
+    def test_multi_hop_path(self):
+        topo = NetworkTopology()
+        for name in ("a", "b", "c"):
+            topo.add_segment(name, bandwidth_mbps=100.0)
+        topo.connect("a", "b", 50.0)
+        topo.connect("b", "c", 20.0)
+        topo.place("n1", "a")
+        topo.place("n2", "c")
+        assert topo.path_between("n1", "n2") == ["a", "b", "c"]
+        assert topo.link_between("n1", "n2").bandwidth_mbps == 20.0
+
+    def test_shortest_path_chosen(self):
+        # Diamond: a-b-d and a-c-d; both two hops, but a direct a-d link wins.
+        topo = NetworkTopology()
+        for name in ("a", "b", "d"):
+            topo.add_segment(name)
+        topo.connect("a", "b", 100.0)
+        topo.connect("b", "d", 100.0)
+        topo.connect("a", "d", 10.0)
+        topo.place("n1", "a")
+        topo.place("n2", "d")
+        assert topo.path_between("n1", "n2") == ["a", "d"]
+
+
+class TestBuilders:
+    def test_flat_lan_places_everyone(self):
+        topo = flat_lan([f"n{i}" for i in range(5)])
+        assert len(topo.nodes_in("lan")) == 5
+
+    def test_two_groups_matches_paper_example(self):
+        group_a = [f"a{i}" for i in range(50)]
+        group_b = [f"b{i}" for i in range(50)]
+        topo = two_groups(group_a, group_b, intra_mbps=100.0, inter_mbps=10.0)
+        assert topo.link_between("a0", "a1").bandwidth_mbps == 100.0
+        assert topo.link_between("a0", "b0").bandwidth_mbps == 10.0

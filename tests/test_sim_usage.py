@@ -1,0 +1,100 @@
+"""Unit tests for the synthetic usage profiles."""
+
+import pytest
+
+from repro.sim.usage import (
+    ALWAYS_IDLE,
+    ERRATIC,
+    NIGHT_OWL,
+    OFFICE_WORKER,
+    PROFILES,
+    STUDENT_LAB,
+)
+
+
+class TestOfficeWorker:
+    def test_busy_during_working_hours(self):
+        assert OFFICE_WORKER.mean_presence(1, 10.0) > 0.8
+
+    def test_lunch_dip(self):
+        lunch = OFFICE_WORKER.mean_presence(1, 12.5)
+        morning = OFFICE_WORKER.mean_presence(1, 10.0)
+        assert lunch < morning / 2
+
+    def test_idle_at_night(self):
+        assert OFFICE_WORKER.mean_presence(1, 3.0) < 0.1
+
+    def test_idle_on_weekend(self):
+        assert OFFICE_WORKER.mean_presence(5, 10.0) < 0.1
+        assert OFFICE_WORKER.mean_presence(6, 10.0) < 0.1
+
+    def test_holiday_discount(self):
+        normal = OFFICE_WORKER.mean_presence(1, 10.0)
+        holiday = OFFICE_WORKER.mean_presence(1, 10.0, holiday=True)
+        assert holiday < normal * 0.1
+
+
+class TestOtherProfiles:
+    def test_night_owl_peaks_at_night(self):
+        assert NIGHT_OWL.mean_presence(2, 22.0) > NIGHT_OWL.mean_presence(2, 14.0)
+
+    def test_night_owl_wraps_midnight(self):
+        assert NIGHT_OWL.mean_presence(2, 1.0) > 0.5
+
+    def test_always_idle_is_always_idle(self):
+        for day in range(7):
+            for hour in (0.0, 6.0, 12.0, 18.0, 23.5):
+                assert ALWAYS_IDLE.mean_presence(day, hour) == 0.0
+
+    def test_erratic_is_flat(self):
+        values = {
+            ERRATIC.mean_presence(d, h)
+            for d in range(7)
+            for h in (0.0, 8.0, 16.0)
+        }
+        assert len(values) == 1
+
+    def test_student_lab_open_long_hours(self):
+        assert STUDENT_LAB.mean_presence(3, 21.0) > 0.5
+        assert STUDENT_LAB.mean_presence(3, 23.5) < 0.1
+
+
+class TestTransitionProbs:
+    def test_stationary_distribution_matches_mean(self):
+        for mean in (0.1, 0.5, 0.9):
+            p_on, p_off = OFFICE_WORKER.transition_probs(mean, tick_minutes=5.0)
+            stationary = p_on / (p_on + p_off)
+            assert stationary == pytest.approx(mean, rel=1e-6)
+
+    def test_zero_mean_never_arrives(self):
+        p_on, p_off = OFFICE_WORKER.transition_probs(0.0, 5.0)
+        assert p_on == 0.0
+        assert p_off == 1.0
+
+    def test_full_mean_never_leaves(self):
+        p_on, p_off = OFFICE_WORKER.transition_probs(1.0, 5.0)
+        assert p_on == 1.0
+        assert p_off == 0.0
+
+    def test_session_length_sets_p_off(self):
+        p_on, p_off = OFFICE_WORKER.transition_probs(0.5, tick_minutes=5.0)
+        assert p_off == pytest.approx(5.0 / OFFICE_WORKER.mean_session_minutes)
+
+    def test_probs_clamped_to_one(self):
+        # Very high mean with short sessions must not exceed probability 1.
+        p_on, p_off = ERRATIC.transition_probs(0.99, tick_minutes=60.0)
+        assert 0.0 <= p_on <= 1.0
+        assert 0.0 <= p_off <= 1.0
+
+
+def test_profile_registry():
+    assert set(PROFILES) == {
+        "office_worker", "student_lab", "night_owl", "always_idle", "erratic",
+    }
+    for name, profile in PROFILES.items():
+        assert profile.name == name
+
+
+def test_presence_clamped():
+    # Day and hour outside canonical ranges are wrapped, not errors.
+    assert 0.0 <= OFFICE_WORKER.mean_presence(8, 25.0) <= 1.0
