@@ -94,7 +94,7 @@ def run_experiment():
 
 def test_a1_ablation_negotiation(benchmark):
     table, results = run_once(benchmark, run_experiment)
-    save_result("a1_ablation_negotiation", table.render())
+    save_result("a1_ablation_negotiation", table.render(), table=table)
     # Everything is eventually placed either way...
     assert all(r["placed"] == JOBS for r in results.values())
     # ...but under stale hints, skipping negotiation fallback costs

@@ -104,7 +104,7 @@ def run_experiment():
 
 def test_a2_ablation_clustering(benchmark):
     table, maes, raw_mae = run_once(benchmark, run_experiment)
-    save_result("a2_ablation_clustering", table.render())
+    save_result("a2_ablation_clustering", table.render(), table=table)
     # One category cannot separate weekdays from weekends.
     assert maes[1] > maes[2]
     # The paper's k=3 is within noise of the raw-average strawman while

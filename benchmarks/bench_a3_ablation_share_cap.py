@@ -120,7 +120,7 @@ def run_experiment():
 
 def test_a3_ablation_share_cap(benchmark):
     table, results = run_once(benchmark, run_experiment)
-    save_result("a3_ablation_share_cap", table.render())
+    save_result("a3_ablation_share_cap", table.render(), table=table)
     # Harvest is monotone non-decreasing in the cap...
     caps = sorted(results)
     harvests = [results[c]["harvest_cpu_hours"] for c in caps]

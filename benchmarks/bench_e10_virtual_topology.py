@@ -169,7 +169,7 @@ def run_experiment():
 
 def test_e10_virtual_topology(benchmark):
     table, aware, blind, impossible = run_once(benchmark, run_experiment)
-    save_result("e10_virtual_topology", table.render())
+    save_result("e10_virtual_topology", table.render(), table=table)
     # The exact paper request is satisfied: 50/50 split, one group per lab.
     assert aware["done"]
     assert sorted(aware["segments"].values()) == [GROUP, GROUP]

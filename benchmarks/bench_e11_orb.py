@@ -8,6 +8,8 @@ in-process and over real TCP sockets, and the wire size of each
 protocol message — the costs every other experiment builds on.
 """
 
+import time
+
 import pytest
 
 from repro.analysis.metrics import Table
@@ -20,9 +22,10 @@ from repro.core.protocols import (
 )
 from repro.orb.cdr import CdrDecoder, CdrEncoder
 from repro.orb.core import Orb
+from repro.orb.trading import TradingService
 from repro.orb.transport import InProcDomain
 
-from conftest import save_result
+from conftest import save_json, save_result
 
 SAMPLE_STATUS = {
     "node": "node042", "time": 123456.789, "mips": 1000.0,
@@ -107,7 +110,7 @@ def message_size_table():
 
 def test_e11_message_sizes(benchmark):
     table = benchmark(message_size_table)
-    save_result("e11_orb_message_sizes", table.render())
+    save_result("e11_orb_message_sizes", table.render(), table=table)
     sizes = {row[0]: int(row[1]) for row in table.rows}
     # All protocol messages fit comfortably in a single ethernet frame.
     assert all(size < 256 for size in sizes.values())
@@ -168,6 +171,98 @@ def test_e11_authenticated_roundtrip(benchmark):
     finally:
         server.shutdown()
         client.shutdown()
+
+
+def build_trader(offers=1000):
+    """A trader loaded with a realistic mixed-node offer population."""
+    svc = TradingService()
+    for i in range(offers):
+        svc.export("node", f"ior:n{i:04}", {
+            "node": f"n{i:04}",
+            "mips": 500.0 + (i % 7) * 250.0,
+            "cpu_free": (i % 10) / 10.0,
+            "mem_free_mb": 64.0 + (i % 5) * 64.0,
+            "os": "linux" if i % 3 else "solaris",
+            "sharing": i % 4 != 0,
+            "owner_active": i % 5 == 0,
+        })
+    return svc
+
+
+TRADER_CONSTRAINT = (
+    "sharing == true && !owner_active && mips >= 750 && mem_free_mb >= 128"
+)
+TRADER_PREFERENCE = "cpu_free * mips"
+
+
+def _best_rate(fn, rounds=5, calls=20):
+    """Best-of-N calls/second for ``fn`` (rides out machine noise)."""
+    best = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = max(best, calls / elapsed)
+    return best
+
+
+def test_e11_trader_query_indexed(benchmark):
+    svc = build_trader()
+    result = benchmark(
+        svc.query, "node", TRADER_CONSTRAINT, TRADER_PREFERENCE, 10
+    )
+    assert len(result) == 10
+
+
+def test_e11_trader_query_linear_oracle(benchmark):
+    svc = build_trader()
+    result = benchmark(
+        svc.query_linear, "node", TRADER_CONSTRAINT, TRADER_PREFERENCE, 10
+    )
+    assert len(result) == 10
+
+
+def test_e11_metrics_json(benchmark):
+    """One self-contained pass producing every BENCH_E11.json metric:
+    wire sizes, marshalling bytes/s, and indexed-vs-linear trader query
+    rates at 1000 offers."""
+    def measure():
+        sizes = {}
+        for name, idl_type, sample in (
+            ("node_status", NODE_STATUS, SAMPLE_STATUS),
+            ("reservation_request", RESERVATION_REQUEST, SAMPLE_RESERVATION),
+            ("task_launch", TASK_LAUNCH, SAMPLE_LAUNCH),
+            ("cluster_summary", CLUSTER_SUMMARY, SAMPLE_SUMMARY),
+        ):
+            enc = CdrEncoder()
+            idl_type.encode(enc, sample)
+            sizes[name] = len(enc.getvalue())
+
+        msg_bytes = len(encode_status())
+        encodes_per_s = _best_rate(encode_status, rounds=5, calls=2000)
+
+        svc = build_trader()
+        args = ("node", TRADER_CONSTRAINT, TRADER_PREFERENCE, 10)
+        assert svc.query(*args) == svc.query_linear(*args)
+        indexed_qps = _best_rate(lambda: svc.query(*args))
+        linear_qps = _best_rate(lambda: svc.query_linear(*args))
+        return sizes, msg_bytes, encodes_per_s, indexed_qps, linear_qps
+
+    sizes, msg_bytes, enc_per_s, indexed_qps, linear_qps = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    save_json("E11", {
+        "experiment": "e11_orb",
+        "message_bytes": sizes,
+        "marshal_node_status_per_s": round(enc_per_s, 1),
+        "marshal_bytes_per_s": round(enc_per_s * msg_bytes, 1),
+        "trader_offers": 1000,
+        "trader_indexed_queries_per_s": round(indexed_qps, 1),
+        "trader_linear_queries_per_s": round(linear_qps, 1),
+        "trader_speedup": round(indexed_qps / linear_qps, 2),
+    })
+    assert indexed_qps > linear_qps
 
 
 def test_e11_oneway_inproc(benchmark):

@@ -119,7 +119,7 @@ def run_experiment():
 
 def test_e12_trace_replay(benchmark):
     table, results = run_once(benchmark, run_experiment)
-    save_result("e12_trace_replay", table.render())
+    save_result("e12_trace_replay", table.render(), table=table)
     # Everything completes in both worlds.
     assert all(r["completed"] == JOBS for r in results.values())
     # Replay reproduces live behaviour to first order.

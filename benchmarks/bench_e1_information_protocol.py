@@ -68,7 +68,7 @@ def run_experiment():
 
 def test_e1_information_protocol(benchmark):
     table = run_once(benchmark, run_experiment)
-    save_result("e1_information_protocol", table.render())
+    save_result("e1_information_protocol", table.render(), table=table)
     rows = {(r[0], r[1]): r for r in table.rows}
     # Load scales ~linearly with node count at fixed interval.
     assert float(rows[("100", "60")][2]) > 8 * float(rows[("10", "60")][2])

@@ -87,7 +87,7 @@ def run_experiment():
 
 def test_e2_reservation_protocol(benchmark):
     table = run_once(benchmark, run_experiment)
-    save_result("e2_reservation_protocol", table.render())
+    save_result("e2_reservation_protocol", table.render(), table=table)
     fresh = table.rows[0]
     stale = table.rows[-1]
     # Staler hints must cost more negotiation (or at least not less).

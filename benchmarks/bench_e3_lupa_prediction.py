@@ -103,7 +103,7 @@ def run_experiment():
 
 def test_e3_lupa_prediction(benchmark):
     table = run_once(benchmark, run_experiment)
-    save_result("e3_lupa_prediction", table.render())
+    save_result("e3_lupa_prediction", table.render(), table=table)
     rows = {(r[0], r[1]): r for r in table.rows}
     # Structured owners are predictable after 4 weeks...
     for name in ("office_worker", "night_owl"):

@@ -95,7 +95,7 @@ def run_experiment():
 
 def test_e4_scheduling_policies(benchmark):
     table, results = run_once(benchmark, run_experiment)
-    save_result("e4_scheduling_policies", table.render())
+    save_result("e4_scheduling_policies", table.render(), table=table)
     # Everyone finishes the batch eventually...
     assert all(r["completed"] == JOBS for r in results.values())
     # ...but the pattern-aware policy wastes the least and evicts least

@@ -72,7 +72,7 @@ def run_experiment():
 
 def test_e5_bsp_speedup(benchmark):
     table, speedups = run_once(benchmark, run_experiment)
-    save_result("e5_bsp_speedup", table.render())
+    save_result("e5_bsp_speedup", table.render(), table=table)
     # Monotone speedup, near-linear at small scale, sub-linear at 16.
     assert speedups[2] > 1.7
     assert speedups[4] > 3.0

@@ -80,7 +80,7 @@ def run_experiment():
 
 def test_e6_checkpointing(benchmark):
     table, results = run_once(benchmark, run_experiment)
-    save_result("e6_checkpointing", table.render())
+    save_result("e6_checkpointing", table.render(), table=table)
     assert all(r["done"] for r in results.values())
     # Failures happened in every configuration.
     assert all(r["rollbacks"] >= 1 for r in results.values())

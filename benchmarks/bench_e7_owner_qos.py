@@ -150,7 +150,7 @@ def run_experiment():
 
 def test_e7_owner_qos(benchmark):
     table, results = run_once(benchmark, run_experiment)
-    save_result("e7_owner_qos", table.render())
+    save_result("e7_owner_qos", table.render(), table=table)
     naive = results["naive fair-share harvester"]
     share = results["InteGrade share mode (cap 0.2 while owner active)"]
     vacate = results["InteGrade vacate mode (Condor-like)"]

@@ -186,7 +186,7 @@ def run_experiment():
 
 def test_e8_baseline_comparison(benchmark):
     table, results = run_once(benchmark, run_experiment)
-    save_result("e8_baseline_comparison", table.render())
+    save_result("e8_baseline_comparison", table.render(), table=table)
     # Everyone gets the sequential work done within the horizon.
     for r in results.values():
         assert r["seq_done"] == SEQ_JOBS

@@ -115,7 +115,7 @@ def run_experiment():
 
 def test_e9_hierarchy(benchmark):
     table, ratios, overflow_placed, footer = run_once(benchmark, run_experiment)
-    save_result("e9_hierarchy", table.render() + footer)
+    save_result("e9_hierarchy", table.render() + footer, table=table)
     # The hierarchy cuts top-level message load by an order of magnitude...
     assert all(ratio > 10 for ratio in ratios.values())
     # ...increasingly so at scale.

@@ -92,5 +92,5 @@ def run_experiment():
 
 def test_f1_architecture(benchmark):
     text, checks = run_once(benchmark, run_experiment)
-    save_result("f1_architecture", text)
+    save_result("f1_architecture", text, table=checks)
     assert all(row[1] == "yes" for row in checks.rows), text

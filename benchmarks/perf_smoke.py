@@ -1,0 +1,73 @@
+"""CI perf smoke: remeasure the two committed baselines, fail on a cliff.
+
+Remeasures the 32-node S1 simulator throughput and the 1000-offer
+indexed trader query rate (reusing the benchmark modules' own builders,
+so the measured workload cannot drift from what produced the baseline),
+then compares against the committed ``BENCH_S1.json`` / ``BENCH_E11.json``.
+A drop of more than ``TOLERANCE`` fails the build.
+
+The 30 % margin absorbs runner-to-runner noise; the regressions this
+guards against — losing an index, falling off a compiled path, an
+accidentally quadratic event loop — are 2–6× cliffs, not 30 %.
+
+Run from the repo root:  PYTHONPATH=src python benchmarks/perf_smoke.py
+"""
+
+import json
+import os
+import sys
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, BENCH_DIR)
+
+from bench_e11_orb import (          # noqa: E402
+    TRADER_CONSTRAINT,
+    TRADER_PREFERENCE,
+    _best_rate,
+    build_trader,
+)
+from bench_s1_simulator_throughput import measure_hour  # noqa: E402
+from conftest import load_json       # noqa: E402
+
+TOLERANCE = 0.30
+
+
+def check(name, measured, baseline):
+    floor = baseline * (1.0 - TOLERANCE)
+    ok = measured >= floor
+    verdict = "ok" if ok else "REGRESSION"
+    print(f"{name}: measured {measured:,.0f}/s, baseline {baseline:,.0f}/s, "
+          f"floor {floor:,.0f}/s -> {verdict}")
+    return ok
+
+
+def main():
+    failures = 0
+
+    s1 = load_json("S1")
+    if s1 is None:
+        print("no BENCH_S1.json baseline committed; skipping S1 smoke")
+    else:
+        baseline = next(
+            row["events_per_wall_s"] for row in s1["rows"]
+            if row["nodes"] == 32
+        )
+        _, rate = measure_hour(32, best_of=3)
+        failures += not check("S1 events (32 nodes)", rate, baseline)
+
+    e11 = load_json("E11")
+    if e11 is None:
+        print("no BENCH_E11.json baseline committed; skipping E11 smoke")
+    else:
+        svc = build_trader(e11["trader_offers"])
+        args = ("node", TRADER_CONSTRAINT, TRADER_PREFERENCE, 10)
+        qps = _best_rate(lambda: svc.query(*args))
+        failures += not check(
+            "E11 trader queries", qps, e11["trader_indexed_queries_per_s"]
+        )
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

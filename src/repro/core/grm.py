@@ -170,7 +170,9 @@ class Grm:
         record.last_status = status
         record.last_seen = self._loop.now
         record.alive = True
-        self.trader.modify(record.offer_id, status)
+        # The decoded update dict is never touched again: let the trader
+        # adopt it instead of copying (it also backs last_status, read-only).
+        self.trader.modify(record.offer_id, status, copy=False)
         self.stats.updates_received += 1
 
     def _check_liveness(self) -> None:
@@ -381,7 +383,9 @@ class Grm:
         if reqs.disk_mb > 0:
             parts.append(f"disk_free_mb >= {reqs.disk_mb}")
         constraint = " && ".join(parts)
-        offers = self.trader.query("node", constraint=constraint)
+        offers = self.trader.query(
+            "node", constraint=constraint, copy_properties=False
+        )
         return [
             o["properties"] for o in offers
             if reqs.satisfied_by(o["properties"])

@@ -117,11 +117,11 @@ class Lrm:
 
     def status(self) -> dict:
         """The NodeStatus record the GRM stores in its Trader."""
-        sample = self._machine.sample(self._loop.now)
+        machine = self._machine
         owner_present = self._workstation.owner_present
         sharing = self.ncc.sharing_now()
         cap = self.ncc.cpu_cap(owner_present) if sharing else 0.0
-        spec = self._machine.spec
+        spec = machine.spec
         return {
             "node": self.node,
             "time": self._loop.now,
@@ -130,14 +130,14 @@ class Lrm:
             "disk_mb": spec.disk_mb,
             "os": spec.os,
             "arch": spec.arch,
-            "cpu_free": self._machine.cpu_available_for_grid(cap) if sharing else 0.0,
+            "cpu_free": machine.cpu_available_for_grid(cap) if sharing else 0.0,
             "mem_free_mb": (
-                self._machine.mem_available_for_grid(self.ncc.mem_cap_mb())
+                machine.mem_available_for_grid(self.ncc.mem_cap_mb())
                 if sharing else 0.0
             ),
-            "disk_free_mb": max(0.0, spec.disk_mb - sample.disk_used_mb),
+            "disk_free_mb": max(0.0, spec.disk_mb - machine.disk_used_mb),
             "net_mbps": spec.net_mbps,
-            "net_free_mbps": self._machine.net_free_mbps() if sharing else 0.0,
+            "net_free_mbps": machine.net_free_mbps() if sharing else 0.0,
             "owner_active": owner_present,
             "sharing": sharing,
             "grid_tasks": len(self._running),

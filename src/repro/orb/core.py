@@ -16,6 +16,8 @@ import itertools
 import traceback
 from typing import Optional, Union
 
+from repro.security.auth import AuthenticationError, is_authenticated
+
 from repro.orb.cdr import CdrDecoder, CdrEncoder, String, Struct
 from repro.orb.exceptions import (
     BadOperation,
@@ -55,9 +57,19 @@ class Stub:
 
     def __getattr__(self, name: str):
         operation = self._interface.operation(name)   # raises BadOperation
+        # The request header is constant per (ref, operation) and always
+        # sits at offset 0, so its encoding can be computed once here and
+        # spliced into every request.
+        enc = CdrEncoder()
+        _REQUEST_HEADER.encode(
+            enc, {"key": self._ref.key, "operation": operation.name}
+        )
+        header = enc.getvalue()
+        orb = self._orb
+        ref = self._ref
 
         def call(*args):
-            return self._orb.invoke(self._ref, operation, args)
+            return orb.invoke(ref, operation, args, _header=header)
 
         call.__name__ = name
         # Cache on the instance so later lookups skip __getattr__.
@@ -94,6 +106,13 @@ class Orb:
         self.name = name if name is not None else f"orb{next(self._names)}"
         self.domain = domain if domain is not None else DEFAULT_DOMAIN
         self._servants: dict[str, tuple] = {}
+        # (key, operation) -> (bound method, Operation); rebuilt lazily,
+        # dropped whenever the servant table changes.
+        self._dispatch_cache: dict[tuple, tuple] = {}
+        # endpoints tuple -> (transport, address).  A stale entry after a
+        # peer shutdown still fails with CommunicationError, just from the
+        # transport instead of the routing step.
+        self._route_cache: dict[tuple, tuple] = {}
         self._interfaces: dict[str, InterfaceDef] = {}
         self._key_counter = itertools.count()
         self.domain.register(self.name, self)
@@ -133,6 +152,7 @@ class Orb:
         if key not in self._servants:
             raise ObjectNotFound(f"no servant with key {key!r} on {self.name}")
         del self._servants[key]
+        self._dispatch_cache.clear()
 
     def register_interface(self, interface: InterfaceDef) -> None:
         """Make an interface resolvable by name (for stub construction)."""
@@ -174,8 +194,19 @@ class Orb:
         """Observe dispatched requests: called with (key, operation, args)."""
         self._server_interceptors.append(interceptor)
 
-    def invoke(self, ref: ObjectRef, operation: Operation, args: tuple):
-        """Marshal and send one request; unmarshal the reply."""
+    def invoke(
+        self,
+        ref: ObjectRef,
+        operation: Operation,
+        args: tuple,
+        _header: Optional[bytes] = None,
+    ):
+        """Marshal and send one request; unmarshal the reply.
+
+        ``_header`` is the precomputed request-header encoding a
+        :class:`Stub` caches per operation; without it the header is
+        encoded here.
+        """
         if len(args) != len(operation.params):
             raise TypeError(
                 f"{operation.name}() takes {len(operation.params)} "
@@ -184,14 +215,23 @@ class Orb:
         for interceptor in self._client_interceptors:
             interceptor(ref, operation, args)
         enc = CdrEncoder()
-        _REQUEST_HEADER.encode(enc, {"key": ref.key, "operation": operation.name})
+        if _header is not None:
+            enc._buf.extend(_header)
+        else:
+            _REQUEST_HEADER.encode(
+                enc, {"key": ref.key, "operation": operation.name}
+            )
         for param, arg in zip(operation.params, args):
             param.idl_type.encode(enc, arg)
         payload = enc.getvalue()
         if self.credentials is not None:
             payload = self.credentials.wrap(payload)
 
-        transport, address = self._route(ref)
+        route = self._route_cache.get(ref.endpoints)
+        if route is None:
+            route = self._route(ref)
+            self._route_cache[ref.endpoints] = route
+        transport, address = route
         reply = transport.invoke(address, payload, operation.oneway)
         if operation.oneway:
             return None
@@ -232,26 +272,32 @@ class Orb:
         enc = CdrEncoder()
         try:
             self.current_principal = None
-            from repro.security.auth import is_authenticated
             if self.keyring is not None and is_authenticated(payload):
                 principal, payload = self.keyring.unwrap(payload)
                 self.current_principal = principal
             elif self.require_auth:
-                from repro.security.auth import AuthenticationError
                 raise AuthenticationError(
                     "this ORB only accepts authenticated requests"
                 )
             dec = CdrDecoder(payload)
-            header = _REQUEST_HEADER.decode(dec)
-            entry = self._servants.get(header["key"])
-            if entry is None:
-                raise ObjectNotFound(f"no servant with key {header['key']!r}")
-            servant, interface = entry
-            operation = interface.operation(header["operation"])
+            # The header is Struct{key: string, operation: string}; read the
+            # two strings directly rather than through the Struct plan.
+            key = dec.read_string()
+            op_name = dec.read_string()
+            cached = self._dispatch_cache.get((key, op_name))
+            if cached is None:
+                entry = self._servants.get(key)
+                if entry is None:
+                    raise ObjectNotFound(f"no servant with key {key!r}")
+                servant, interface = entry
+                operation = interface.operation(op_name)
+                cached = (getattr(servant, operation.name), operation)
+                self._dispatch_cache[(key, op_name)] = cached
+            method, operation = cached
             args = [p.idl_type.decode(dec) for p in operation.params]
             for interceptor in self._server_interceptors:
-                interceptor(header["key"], operation, args)
-            result = getattr(servant, operation.name)(*args)
+                interceptor(key, operation, args)
+            result = method(*args)
             enc.write_octet(_STATUS_OK)
             operation.returns.encode(enc, result)
         except Exception as exc:   # marshalled back to the caller

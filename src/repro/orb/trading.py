@@ -8,11 +8,17 @@ and rank them with a preference expression, both in the language of
 language).
 """
 
+import heapq
 import itertools
+import operator
 from dataclasses import dataclass
 from typing import Any, Mapping, Optional
 
-from repro.apps.constraints import Constraint, Preference
+from repro.apps.constraints import (
+    Constraint,
+    Preference,
+    compiled_match_without,
+)
 from repro.orb.cdr import (
     Long,
     Sequence,
@@ -69,6 +75,10 @@ class UnknownOffer(Exception):
     """The offer id does not exist (already withdrawn?)."""
 
 
+_MISSING = object()
+_by_seq = operator.attrgetter("seq")
+
+
 @dataclass
 class Offer:
     """One service offer held by the trader."""
@@ -77,45 +87,128 @@ class Offer:
     service_type: str
     ior: str
     properties: dict
+    #: Export sequence number; query ties keep ascending ``seq`` order.
+    seq: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self, copy_properties: bool = True) -> dict:
         return {
             "offer_id": self.offer_id,
             "service_type": self.service_type,
             "ior": self.ior,
-            "properties": dict(self.properties),
+            "properties": (
+                dict(self.properties) if copy_properties else self.properties
+            ),
         }
 
 
 class TradingService:
-    """An in-memory trader with constraint queries and preference ranking."""
+    """An in-memory trader with constraint queries and preference ranking.
+
+    Query evaluation is indexed: offers are partitioned by service type,
+    and equality conjuncts of the constraint (``sharing == true``) narrow
+    the scan to an incrementally-maintained bucket before the full matcher
+    runs.  Buckets are built lazily the first time a query needs an
+    attribute, so exports and modifies on never-queried attributes cost
+    nothing extra.  :meth:`query_linear` keeps the original unindexed scan
+    as a reference oracle for equivalence tests and benchmarks.
+    """
 
     def __init__(self):
         self._offers: dict[str, Offer] = {}
+        # service type -> {offer_id: Offer}, in export order.
+        self._by_type: dict[str, dict[str, Offer]] = {}
+        # service type -> attr -> property value -> {offer_id: Offer}.
+        # Offers whose value is missing or unhashable are simply absent:
+        # under ClassAd semantics they can never satisfy ``attr == literal``.
+        self._indexes: dict[str, dict[str, dict[Any, dict[str, Offer]]]] = {}
         self._ids = itertools.count()
+        self._seq = itertools.count()
+
+    # -- index maintenance ----------------------------------------------------
+
+    def _index_insert(self, index: dict, attr: str, offer: Offer) -> None:
+        value = offer.properties.get(attr, _MISSING)
+        if value is _MISSING:
+            return
+        try:
+            bucket = index.setdefault(value, {})
+        except TypeError:       # unhashable value: cannot match a literal
+            return
+        bucket[offer.offer_id] = offer
+
+    def _index_remove(self, index: dict, attr: str, offer: Offer) -> None:
+        value = offer.properties.get(attr, _MISSING)
+        if value is _MISSING:
+            return
+        try:
+            bucket = index.get(value)
+        except TypeError:
+            return
+        if bucket is not None:
+            bucket.pop(offer.offer_id, None)
+            if not bucket:
+                del index[value]
+
+    def _index_for(self, service_type: str, attr: str) -> dict:
+        """The value->bucket map for one attribute, built on first use."""
+        per_type = self._indexes.setdefault(service_type, {})
+        index = per_type.get(attr)
+        if index is None:
+            index = per_type[attr] = {}
+            for offer in self._by_type.get(service_type, {}).values():
+                self._index_insert(index, attr, offer)
+        return index
+
+    # -- offer lifecycle ------------------------------------------------------
 
     def export(self, service_type: str, ior: str, properties: Mapping[str, Any]) -> str:
         """Register an offer; returns its id."""
         if not service_type:
             raise ValueError("service_type must be non-empty")
         offer_id = f"offer{next(self._ids)}"
-        self._offers[offer_id] = Offer(
-            offer_id, service_type, ior, dict(properties)
+        offer = Offer(
+            offer_id, service_type, ior, dict(properties), seq=next(self._seq)
         )
+        self._offers[offer_id] = offer
+        self._by_type.setdefault(service_type, {})[offer_id] = offer
+        for attr, index in self._indexes.get(service_type, {}).items():
+            self._index_insert(index, attr, offer)
         return offer_id
 
-    def modify(self, offer_id: str, properties: Mapping[str, Any]) -> None:
-        """Replace an offer's property list (the LRM's periodic update)."""
+    def modify(
+        self,
+        offer_id: str,
+        properties: Mapping[str, Any],
+        copy: bool = True,
+    ) -> None:
+        """Replace an offer's property list (the LRM's periodic update).
+
+        ``copy=False`` adopts the mapping without copying — the caller
+        must hand over ownership (the GRM does this with freshly-decoded
+        update dicts it never touches again).
+        """
         offer = self._offers.get(offer_id)
         if offer is None:
             raise UnknownOffer(offer_id)
-        offer.properties = dict(properties)
+        indexes = self._indexes.get(offer.service_type)
+        if indexes:
+            for attr, index in indexes.items():
+                self._index_remove(index, attr, offer)
+        offer.properties = dict(properties) if copy else properties
+        if indexes:
+            for attr, index in indexes.items():
+                self._index_insert(index, attr, offer)
 
     def withdraw(self, offer_id: str) -> None:
         """Remove an offer."""
-        if offer_id not in self._offers:
+        offer = self._offers.pop(offer_id, None)
+        if offer is None:
             raise UnknownOffer(offer_id)
-        del self._offers[offer_id]
+        self._by_type[offer.service_type].pop(offer_id, None)
+        for attr, index in self._indexes.get(offer.service_type, {}).items():
+            self._index_remove(index, attr, offer)
+
+    # -- queries --------------------------------------------------------------
 
     def query(
         self,
@@ -123,13 +216,79 @@ class TradingService:
         constraint: str = "",
         preference: str = "",
         max_offers: int = -1,
+        copy_properties: bool = True,
     ) -> list:
         """Matching offers as dicts, best-ranked first.
 
-        ``max_offers`` < 0 means unlimited.  Ties keep export order so
-        results are deterministic.
+        ``max_offers`` < 0 means unlimited; ``max_offers == 0`` is an
+        explicit "no offers" request and always returns ``[]`` (callers
+        probing whether a match *exists* should pass 1).  Ties keep export
+        order so results are deterministic.  ``copy_properties=False``
+        returns property dicts aliasing the live offers — read-only use
+        only.
         """
+        if max_offers == 0:
+            return []
+        pool = self._by_type.get(service_type)
+        if not pool:
+            return []
         matcher = Constraint(constraint)
+
+        # Narrow to the smallest equality bucket before the full matcher.
+        bucket = None
+        bucket_conjunct = None
+        for attr, literal in matcher.equality_conjuncts:
+            index = self._index_for(service_type, attr)
+            found = index.get(literal)
+            if not found:        # a necessary conjunct no offer satisfies
+                return []
+            if bucket is None or len(found) < len(bucket):
+                bucket = found
+                bucket_conjunct = (attr, literal)
+        if bucket is None:
+            matches_fn = matcher._match_fn
+            matched = [o for o in pool.values() if matches_fn(o.properties)]
+        else:
+            # Bucket members satisfy the equality conjunct by construction,
+            # so match against the constraint with that conjunct removed.
+            matches_fn = compiled_match_without(constraint, *bucket_conjunct)
+            matched = [o for o in bucket.values() if matches_fn(o.properties)]
+            # Bucket order drifts as modifies re-file offers; sort the
+            # (smaller) match set back to export order for determinism.
+            matched.sort(key=_by_seq)
+
+        if preference.strip():
+            score = Preference(preference)._constraint._score_fn
+            if 0 <= max_offers < len(matched):
+                # Equivalent to the stable descending sort + slice below,
+                # in O(n log k) instead of O(n log n).  The index tiebreak
+                # makes tuple comparison total, so no key callback needed.
+                keyed = [
+                    (-score(o.properties), i) for i, o in enumerate(matched)
+                ]
+                top = heapq.nsmallest(max_offers, keyed)
+                matched = [matched[i] for _, i in top]
+            else:
+                matched.sort(key=lambda o: score(o.properties), reverse=True)
+        if max_offers >= 0:
+            matched = matched[:max_offers]
+        return [offer.as_dict(copy_properties) for offer in matched]
+
+    def query_linear(
+        self,
+        service_type: str,
+        constraint: str = "",
+        preference: str = "",
+        max_offers: int = -1,
+    ) -> list:
+        """Reference oracle: full scan with the interpreted evaluator.
+
+        This is the original, pre-index implementation — no parse cache,
+        no compiled closures, no buckets.  The equivalence tests assert
+        :meth:`query` returns identical offers in identical order; the
+        benchmarks use it as the speedup baseline.
+        """
+        matcher = Constraint(constraint, compiled=False)
         candidates = [
             offer
             for offer in self._offers.values()
@@ -137,7 +296,7 @@ class TradingService:
             and matcher.matches(offer.properties)
         ]
         if preference.strip():
-            rank = Preference(preference)
+            rank = Preference(preference, compiled=False)
             candidates.sort(
                 key=lambda o: rank.score(o.properties), reverse=True
             )

@@ -3,6 +3,13 @@
 Events are ordered by (time, sequence number), so two events scheduled for
 the same instant fire in scheduling order.  This guarantees bit-identical
 experiment runs for a given seed.
+
+Hot-path layout: the heap holds bare ``(when, seq, callback)`` tuples
+rather than per-event objects, cancellation is a tombstone set keyed by
+sequence number, and tombstones are compacted away whenever they would
+outnumber half of the live heap.  :class:`EventHandle` is a thin
+cancellable reference that is only materialized for callers that asked
+for one; the periodic-task fast path never allocates handles at all.
 """
 
 import heapq
@@ -14,17 +21,19 @@ from repro.sim.clock import SimClock
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("when", "seq", "callback", "cancelled")
+    __slots__ = ("when", "seq", "cancelled", "_loop")
 
-    def __init__(self, when: float, seq: int, callback: Callable[[], None]):
+    def __init__(self, loop: "EventLoop", when: float, seq: int):
         self.when = when
         self.seq = seq
-        self.callback = callback
         self.cancelled = False
+        self._loop = loop
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self._loop._cancel(self.seq)
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)
@@ -39,7 +48,8 @@ class EventLoop:
 
     def __init__(self, clock: Optional[SimClock] = None):
         self.clock = clock if clock is not None else SimClock()
-        self._heap: list[EventHandle] = []
+        self._heap: list[tuple] = []       # (when, seq, callback)
+        self._cancelled: set[int] = set()  # seqs of tombstoned heap entries
         self._seq = 0
         self._events_fired = 0
 
@@ -55,8 +65,36 @@ class EventLoop:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._heap) - len(self._cancelled)
+
+    @property
+    def raw_heap_size(self) -> int:
+        """Heap entries including cancelled tombstones (diagnostics)."""
         return len(self._heap)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _push(self, when: float, callback: Callable[[], None]) -> int:
+        """Enqueue without allocating a handle; returns the sequence number."""
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (when, seq, callback))
+        return seq
+
+    def _cancel(self, seq: int) -> None:
+        """Tombstone an entry; compact once tombstones dominate the heap."""
+        self._cancelled.add(seq)
+        if len(self._cancelled) * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries and restore the heap invariant in place."""
+        cancelled = self._cancelled
+        # In-place so aliases held by running fast paths stay valid.
+        self._heap[:] = [e for e in self._heap if e[1] not in cancelled]
+        cancelled.clear()
+        heapq.heapify(self._heap)
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to fire at absolute time ``when``."""
@@ -64,41 +102,57 @@ class EventLoop:
             raise ValueError(
                 f"cannot schedule in the past: {when} < {self.clock.now}"
             )
-        handle = EventHandle(when, self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
-        return handle
+        return EventHandle(self, when, self._push(when, callback))
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self.schedule_at(self.clock.now + delay, callback)
+        when = self.clock.now + delay
+        return EventHandle(self, when, self._push(when, callback))
+
+    # -- running --------------------------------------------------------------
 
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if none remain."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap:
+            when, seq, callback = heapq.heappop(heap)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
                 continue
-            self.clock.advance_to(handle.when)
+            self.clock.advance_to(when)
             self._events_fired += 1
-            handle.callback()
+            callback()
             return True
         return False
 
     def run_until(self, when: float) -> None:
-        """Run all events with time <= ``when``, then advance the clock."""
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if head.when > when:
+        """Run all events with time <= ``when``, then advance the clock.
+
+        This is the batched fast path every experiment drives: the heap,
+        tombstone set, and clock method are bound once, and each iteration
+        pops exactly one tuple without re-entering :meth:`step`.
+        """
+        heap = self._heap
+        cancelled = self._cancelled
+        advance = self.clock.advance_to
+        pop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            if entry[0] > when:
                 break
-            self.step()
+            pop(heap)
+            seq = entry[1]
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            advance(entry[0])
+            self._events_fired += 1
+            entry[2]()
         if when > self.clock.now:
-            self.clock.advance_to(when)
+            advance(when)
 
     def run_for(self, duration: float) -> None:
         """Run the simulation for ``duration`` seconds of simulated time."""
@@ -126,7 +180,13 @@ class EventLoop:
 
 
 class PeriodicTask:
-    """A repeating event; reschedules itself after every firing."""
+    """A repeating event; reschedules itself after every firing.
+
+    Rescheduling pushes a bare heap tuple for the precomputed next firing
+    time — no per-fire :class:`EventHandle` or closure allocation.
+    """
+
+    __slots__ = ("_loop", "interval", "_callback", "_stopped", "_pending_seq")
 
     def __init__(
         self,
@@ -137,12 +197,14 @@ class PeriodicTask:
     ):
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
+        first = interval if start_after is None else start_after
+        if first < 0:
+            raise ValueError(f"delay must be non-negative, got {first}")
         self._loop = loop
         self.interval = interval
         self._callback = callback
         self._stopped = False
-        first = interval if start_after is None else start_after
-        self._handle = loop.schedule(first, self._fire)
+        self._pending_seq = loop._push(loop.clock.now + first, self._fire)
 
     @property
     def stopped(self) -> bool:
@@ -153,9 +215,13 @@ class PeriodicTask:
             return
         self._callback()
         if not self._stopped:
-            self._handle = self._loop.schedule(self.interval, self._fire)
+            loop = self._loop
+            self._pending_seq = loop._push(
+                loop.clock.now + self.interval, self._fire
+            )
 
     def stop(self) -> None:
         """Stop the task.  The callback will not fire again."""
-        self._stopped = True
-        self._handle.cancel()
+        if not self._stopped:
+            self._stopped = True
+            self._loop._cancel(self._pending_seq)

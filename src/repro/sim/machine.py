@@ -149,6 +149,11 @@ class Machine:
     def keyboard_active(self) -> bool:
         return self._keyboard_active
 
+    @property
+    def disk_used_mb(self) -> float:
+        """Disk currently claimed by grid task allocations."""
+        return self._disk_used_mb
+
     # -- grid side -----------------------------------------------------------
 
     @property

@@ -8,9 +8,15 @@ of flickering every sample).
 """
 
 from dataclasses import dataclass, field
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
+
+import numpy as np
 
 PresenceFn = Callable[[int, float], float]
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
 
 
 def _office_presence(day: int, hour: float) -> float:
@@ -138,3 +144,143 @@ PROFILES = {
     p.name: p
     for p in (OFFICE_WORKER, STUDENT_LAB, NIGHT_OWL, ALWAYS_IDLE, ERRATIC)
 }
+
+
+# -- vectorized weekly grids ---------------------------------------------------
+#
+# Bulk consumers (multi-week LUPA trace generation, the workstation tick
+# cache) evaluate presence over a whole week of tick times at once instead
+# of calling ``mean_presence``/``transition_probs`` per tick.  The scalar
+# presence function is sampled once per grid cell; everything downstream
+# (holiday discount, clamping, Markov transition probabilities) is numpy
+# elementwise arithmetic in the same operation order as the scalar path,
+# so cached values are bit-identical to per-tick evaluation.
+
+_GRID_CACHE: dict = {}
+
+
+def presence_grid(
+    profile: UsageProfile,
+    tick_seconds: float = 300.0,
+    holiday: bool = False,
+) -> np.ndarray:
+    """Weekly mean-presence vector, one entry per tick offset into the week.
+
+    Entry ``k`` equals ``profile.mean_presence(day, hour, holiday)`` at
+    week offset ``k * tick_seconds``.  Cached per (profile, tick, holiday).
+    """
+    key = ("presence", profile, float(tick_seconds), bool(holiday))
+    grid = _GRID_CACHE.get(key)
+    if grid is None:
+        n = int(SECONDS_PER_WEEK // tick_seconds)
+        times = np.arange(n) * float(tick_seconds)
+        days = (times // SECONDS_PER_DAY).astype(int) % 7
+        hours = (times % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        fn = profile.presence
+        raw = np.fromiter(
+            (fn(int(d), float(h)) for d, h in zip(days, hours)),
+            dtype=np.float64,
+            count=n,
+        )
+        if holiday:
+            raw = raw * profile.holiday_factor
+        grid = np.minimum(1.0, np.maximum(0.0, raw))
+        grid.setflags(write=False)
+        _GRID_CACHE[key] = grid
+    return grid
+
+
+def transition_grid(
+    profile: UsageProfile,
+    tick_seconds: float = 300.0,
+    holiday: bool = False,
+) -> np.ndarray:
+    """Weekly ``(p_on, p_off)`` transition grid, shape ``(n, 2)``.
+
+    Row ``k`` equals ``profile.transition_probs(mean_k, tick_minutes)``
+    for the corresponding :func:`presence_grid` entry.
+    """
+    key = ("transition", profile, float(tick_seconds), bool(holiday))
+    grid = _GRID_CACHE.get(key)
+    if grid is None:
+        mean = presence_grid(profile, tick_seconds, holiday)
+        tick_minutes = tick_seconds / 60.0
+        p_off = min(1.0, tick_minutes / profile.mean_session_minutes)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p_on = np.minimum(1.0, p_off * mean / (1.0 - mean))
+        grid = np.empty((len(mean), 2))
+        grid[:, 0] = p_on
+        grid[:, 1] = p_off
+        grid[mean <= 0.0] = (0.0, 1.0)
+        grid[mean >= 1.0] = (1.0, 0.0)
+        grid.setflags(write=False)
+        _GRID_CACHE[key] = grid
+    return grid
+
+
+def transition_pairs(
+    profile: UsageProfile,
+    tick_seconds: float = 300.0,
+    holiday: bool = False,
+) -> list:
+    """:func:`transition_grid` as a list of float pairs (fast to index)."""
+    key = ("pairs", profile, float(tick_seconds), bool(holiday))
+    pairs = _GRID_CACHE.get(key)
+    if pairs is None:
+        pairs = [tuple(row) for row in transition_grid(
+            profile, tick_seconds, holiday
+        ).tolist()]
+        _GRID_CACHE[key] = pairs
+    return pairs
+
+
+def generate_presence_trace(
+    profile: UsageProfile,
+    weeks: int,
+    tick_seconds: float = 300.0,
+    seed: int = 0,
+    holidays: Optional[set] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Simulate the two-state presence chain for ``weeks`` weeks at once.
+
+    Returns a boolean array with one entry per tick.  The per-tick
+    transition probabilities come from the vectorized weekly grids (tiled
+    across weeks, with holiday days swapped in), so generating months of
+    LUPA training data costs one tight scan instead of millions of
+    presence-function calls.  Uses its own numpy RNG stream — this is the
+    bulk offline generator, not the event-driven workstation model.
+    """
+    if weeks <= 0:
+        raise ValueError(f"weeks must be positive, got {weeks}")
+    base = transition_grid(profile, tick_seconds, holiday=False)
+    n_week = len(base)
+    n = n_week * int(weeks)
+    probs = np.tile(base, (int(weeks), 1))
+    if holidays:
+        hol = transition_grid(profile, tick_seconds, holiday=True)
+        ticks_per_day = int(SECONDS_PER_DAY // tick_seconds)
+        for day in sorted(holidays):
+            lo = day * ticks_per_day
+            if lo >= n:
+                continue
+            hi = min(n, lo + ticks_per_day)
+            week_lo = lo % n_week
+            probs[lo:hi] = hol[week_lo:week_lo + (hi - lo)]
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    draws = rng.random(n)
+    p_on = probs[:, 0].tolist()
+    p_off = probs[:, 1].tolist()
+    u = draws.tolist()
+    out = np.empty(n, dtype=bool)
+    present = False
+    for i in range(n):
+        if present:
+            if u[i] < p_off[i]:
+                present = False
+        else:
+            if u[i] < p_on[i]:
+                present = True
+        out[i] = present
+    return out

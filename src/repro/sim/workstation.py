@@ -8,10 +8,10 @@ arrives or leaves.  Everything is deterministic given the seed streams.
 import random
 from typing import Callable, Optional
 
-from repro.sim.clock import SECONDS_PER_DAY
+from repro.sim.clock import SECONDS_PER_DAY, SECONDS_PER_WEEK
 from repro.sim.events import EventLoop
 from repro.sim.machine import Machine, MachineSpec
-from repro.sim.usage import UsageProfile, ALWAYS_IDLE
+from repro.sim.usage import UsageProfile, ALWAYS_IDLE, transition_pairs
 
 OwnerListener = Callable[[bool], None]
 
@@ -43,6 +43,11 @@ class Workstation:
         self._session_mem_mb = 0.0
         self._session_net_mbps = 0.0
         self._listeners: list[OwnerListener] = []
+        # Weekly transition-prob cache: valid only when tick times repeat
+        # with the week, i.e. the tick divides the week evenly.  Built
+        # lazily (per holiday flag) from the vectorized usage grids.
+        self._tp_cacheable = (SECONDS_PER_WEEK % self.tick_seconds) == 0.0
+        self._tp_pairs: dict[bool, list] = {}
         self._task = loop.every(self.tick_seconds, self._tick, start_after=0.0)
 
     @property
@@ -81,11 +86,26 @@ class Workstation:
 
     # -- internals ------------------------------------------------------------
 
+    def _transition_probs_now(self) -> tuple:
+        """Per-tick (p_on, p_off), served from the weekly cache when the
+        current time falls exactly on the cached grid."""
+        now = self.loop.now
+        if self._tp_cacheable:
+            index = (now % SECONDS_PER_WEEK) / self.tick_seconds
+            k = int(index)
+            if k == index:
+                holiday = self.is_holiday(now)
+                pairs = self._tp_pairs.get(holiday)
+                if pairs is None:
+                    pairs = self._tp_pairs[holiday] = transition_pairs(
+                        self.profile, self.tick_seconds, holiday
+                    )
+                return pairs[k]
+        mean = self.true_mean_presence(now)
+        return self.profile.transition_probs(mean, self.tick_seconds / 60.0)
+
     def _tick(self) -> None:
-        mean = self.true_mean_presence(self.loop.now)
-        p_on, p_off = self.profile.transition_probs(
-            mean, self.tick_seconds / 60.0
-        )
+        p_on, p_off = self._transition_probs_now()
         was_present = self._present
         if self._present:
             if self._rng.random() < p_off:

@@ -169,3 +169,46 @@ def test_events_fired_counter():
         loop.schedule(1.0, lambda: None)
     loop.run()
     assert loop.events_fired == 4
+
+
+def test_pending_counts_live_events_only():
+    loop = EventLoop()
+    handles = [loop.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert loop.pending == 10
+    assert loop.raw_heap_size == 10
+    handles[0].cancel()
+    handles[1].cancel()
+    # Cancelled entries are tombstones: still in the heap, not pending.
+    assert loop.pending == 8
+    assert loop.raw_heap_size >= 8
+    loop.run()
+    assert loop.pending == 0
+    assert loop.raw_heap_size == 0
+
+
+def test_tombstones_compact_when_they_dominate():
+    loop = EventLoop()
+    fired = []
+    handles = [
+        loop.schedule(float(i + 1), lambda i=i: fired.append(i))
+        for i in range(100)
+    ]
+    for handle in handles[:80]:
+        handle.cancel()
+    # Once cancellations outnumber live entries the heap is compacted,
+    # so the raw size tracks the live count instead of growing unbounded.
+    assert loop.pending == 20
+    assert loop.raw_heap_size < 100
+    loop.run()
+    assert fired == list(range(80, 100))
+
+
+def test_pending_tracks_periodic_tasks():
+    loop = EventLoop()
+    task = loop.every(10.0, lambda: None)
+    assert loop.pending == 1      # exactly one queued occurrence at a time
+    loop.run_until(35.0)
+    assert loop.pending == 1
+    task.stop()
+    loop.run_until(100.0)
+    assert loop.pending == 0

@@ -98,3 +98,63 @@ def test_profile_registry():
 def test_presence_clamped():
     # Day and hour outside canonical ranges are wrapped, not errors.
     assert 0.0 <= OFFICE_WORKER.mean_presence(8, 25.0) <= 1.0
+
+
+class TestVectorizedGrids:
+    """The weekly numpy grids must be bit-identical to the scalar path."""
+
+    def test_presence_grid_matches_scalar(self):
+        from repro.sim.usage import (
+            SECONDS_PER_DAY, SECONDS_PER_HOUR, presence_grid,
+        )
+        for profile in (OFFICE_WORKER, STUDENT_LAB, ALWAYS_IDLE):
+            for holiday in (False, True):
+                grid = presence_grid(profile, 300.0, holiday)
+                assert len(grid) == 2016   # a week of 5-minute ticks
+                for k in (0, 1, 500, 1000, 2015):
+                    t = k * 300.0
+                    day = int(t // SECONDS_PER_DAY) % 7
+                    hour = (t % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+                    assert grid[k] == profile.mean_presence(
+                        day, hour, holiday=holiday
+                    )
+
+    def test_transition_grid_matches_scalar(self):
+        from repro.sim.usage import presence_grid, transition_grid
+        for profile in (NIGHT_OWL, ERRATIC, ALWAYS_IDLE):
+            mean = presence_grid(profile, 300.0)
+            grid = transition_grid(profile, 300.0)
+            for k in range(0, len(grid), 97):
+                expected = profile.transition_probs(mean[k], 5.0)
+                assert (grid[k, 0], grid[k, 1]) == expected
+
+    def test_grids_are_cached_and_read_only(self):
+        from repro.sim.usage import presence_grid
+        a = presence_grid(OFFICE_WORKER, 300.0)
+        assert presence_grid(OFFICE_WORKER, 300.0) is a
+        with pytest.raises(ValueError):
+            a[0] = 0.5
+
+    def test_generate_presence_trace_deterministic(self):
+        import numpy as np
+        from repro.sim.usage import generate_presence_trace
+        t1 = generate_presence_trace(OFFICE_WORKER, weeks=2, seed=7)
+        t2 = generate_presence_trace(OFFICE_WORKER, weeks=2, seed=7)
+        assert t1.dtype == bool and len(t1) == 2 * 2016
+        assert np.array_equal(t1, t2)
+        t3 = generate_presence_trace(OFFICE_WORKER, weeks=2, seed=8)
+        assert not np.array_equal(t1, t3)
+        assert not generate_presence_trace(ALWAYS_IDLE, weeks=1).any()
+        with pytest.raises(ValueError):
+            generate_presence_trace(OFFICE_WORKER, weeks=0)
+
+    def test_holiday_days_suppress_presence(self):
+        import numpy as np
+        from repro.sim.usage import generate_presence_trace
+        ticks_per_day = 288
+        busy = generate_presence_trace(STUDENT_LAB, weeks=1, seed=3)
+        quiet = generate_presence_trace(
+            STUDENT_LAB, weeks=1, seed=3, holidays={1}
+        )
+        day1 = slice(1 * ticks_per_day, 2 * ticks_per_day)
+        assert quiet[day1].sum() <= busy[day1].sum()
