@@ -1,9 +1,10 @@
-"""CI perf smoke: remeasure the two committed baselines, fail on a cliff.
+"""CI perf smoke: remeasure the committed baselines, fail on a cliff.
 
-Remeasures the 32-node S1 simulator throughput and the 1000-offer
-indexed trader query rate (reusing the benchmark modules' own builders,
-so the measured workload cannot drift from what produced the baseline),
-then compares against the committed ``BENCH_S1.json`` / ``BENCH_E11.json``.
+Remeasures the 32-node S1 simulator throughput, the 1000-offer indexed
+trader query rate, and the 1024-node S2 pattern-aware ranking rate
+(reusing the benchmark modules' own builders, so the measured workload
+cannot drift from what produced the baseline), then compares against
+the committed ``BENCH_S1.json`` / ``BENCH_E11.json`` / ``BENCH_S2.json``.
 A drop of more than ``TOLERANCE`` fails the build.
 
 The 30 % margin absorbs runner-to-runner noise; the regressions this
@@ -27,6 +28,13 @@ from bench_e11_orb import (          # noqa: E402
     build_trader,
 )
 from bench_s1_simulator_throughput import measure_hour  # noqa: E402
+from bench_s2_scheduler_throughput import (  # noqa: E402
+    _best_pass_s,
+    build_workload,
+    make_ctx,
+)
+from repro.core.scheduler import PatternAwarePolicy  # noqa: E402
+
 from conftest import load_json       # noqa: E402
 
 TOLERANCE = 0.30
@@ -64,6 +72,21 @@ def main():
         qps = _best_rate(lambda: svc.query(*args))
         failures += not check(
             "E11 trader queries", qps, e11["trader_indexed_queries_per_s"]
+        )
+
+    s2 = load_json("S2")
+    if s2 is None:
+        print("no BENCH_S2.json baseline committed; skipping S2 smoke")
+    else:
+        baseline = next(
+            row["offers_ranked_per_s"] for row in s2["rows"]
+            if row["nodes"] == 1024 and row["policy"] == "pattern_aware"
+        )
+        gupa, offers = build_workload(1024)
+        policy = PatternAwarePolicy()
+        pass_s = _best_pass_s(lambda: policy.order(offers, make_ctx(gupa)))
+        failures += not check(
+            "S2 pattern-aware ranking (1024 nodes)", 1024 / pass_s, baseline
         )
 
     return 1 if failures else 0

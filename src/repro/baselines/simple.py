@@ -14,15 +14,18 @@ from repro.core.grm import Grm
 class OptimisticGrm(Grm):
     """A GRM that trusts the hint: one candidate, no fallback."""
 
-    def _place_task(self, job, task, exclude=()):
+    def _place_task(self, job, task, exclude=(), ctx=None):
         from repro.core.scheduler import ScheduleContext
 
-        ctx = ScheduleContext(
-            spec=job.spec,
-            remaining_mips=task.remaining_mips,
-            now=self._loop.now,
-            gupa=self.gupa,
-        )
+        if ctx is None:
+            ctx = ScheduleContext(
+                spec=job.spec,
+                remaining_mips=task.remaining_mips,
+                now=self._loop.now,
+                gupa=self.gupa,
+            )
+        else:
+            ctx.remaining_mips = task.remaining_mips
         offers = [
             o for o in self._offers_for(job.spec)
             if o["node"] not in exclude

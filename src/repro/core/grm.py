@@ -395,6 +395,14 @@ class Grm:
 
     def _schedule_independent(self, job: Job) -> bool:
         all_placed = True
+        # One context for the whole job: the per-offer array cache
+        # survives across tasks, only remaining_mips changes per task.
+        ctx = ScheduleContext(
+            spec=job.spec,
+            remaining_mips=0.0,
+            now=self._loop.now,
+            gupa=self.gupa,
+        )
         for task in job.tasks:
             if task.state is not TaskState.PENDING:
                 continue
@@ -404,8 +412,8 @@ class Grm:
             last_node = self._last_node_of(task)
             if task.evictions > 0 and last_node is not None:
                 exclude = (last_node,)
-            if not self._place_task(job, task, exclude=exclude):
-                if exclude and self._place_task(job, task):
+            if not self._place_task(job, task, exclude=exclude, ctx=ctx):
+                if exclude and self._place_task(job, task, ctx=ctx):
                     continue   # fall back: the old node is all there is
                 all_placed = False
         job.refresh_state(self._loop.now)
@@ -431,13 +439,22 @@ class Grm:
         rank = spec.preference_rank()
         return sorted(offers, key=rank.score, reverse=True)
 
-    def _place_task(self, job: Job, task: Task, exclude: tuple = ()) -> bool:
-        ctx = ScheduleContext(
-            spec=job.spec,
-            remaining_mips=task.remaining_mips,
-            now=self._loop.now,
-            gupa=self.gupa,
-        )
+    def _place_task(
+        self,
+        job: Job,
+        task: Task,
+        exclude: tuple = (),
+        ctx: Optional[ScheduleContext] = None,
+    ) -> bool:
+        if ctx is None:
+            ctx = ScheduleContext(
+                spec=job.spec,
+                remaining_mips=task.remaining_mips,
+                now=self._loop.now,
+                gupa=self.gupa,
+            )
+        else:
+            ctx.remaining_mips = task.remaining_mips
         offers = [
             o for o in self._offers_for(job.spec)
             if o["node"] not in exclude

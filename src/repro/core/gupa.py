@@ -5,13 +5,44 @@ GRM's question: "how likely is this node to stay idle long enough for
 this task?"  (Paper, Section 4: "This information is made available to
 the GRM, which can make better scheduling decisions due to the
 possibility of predicting a node's idle periods.")
+
+Profiles are normalized at upload into (7, bins_per_day) float64 grids
+with the per-bin ``1 - busy`` idle factor precomputed, so a scheduling
+pass can score every candidate node in one vectorized call
+(:meth:`Gupa.idle_probabilities`).  The vectorized path multiplies the
+*exact same factor sequence* the scalar loop multiplies — whole bins as
+plain grid factors (``pow(x, 1.0) == x`` bit-exactly), fractional edge
+bins raised to their coverage weight scalar-side — left to right, so
+results are bit-identical to the seed implementation, which is retained
+as :meth:`idle_probability_scalar` / :meth:`busy_probability_scalar`
+and used as the equivalence-test oracle.
 """
 
+import math
 from typing import Optional
+
+import numpy as np
 
 from repro.sim.clock import SECONDS_PER_DAY
 
 UNKNOWN = -1.0
+
+#: Factor-matrix columns per block in the batch product (memory guard
+#: for very long spans; the running product is prepended to each block
+#: so left-to-right association is preserved exactly).
+_CHUNK_COLUMNS = 2048
+
+
+class _PatternGrid:
+    """One node's profile, normalized for vectorized scoring."""
+
+    __slots__ = ("bins_per_day", "bin_seconds", "busy", "idle")
+
+    def __init__(self, bins_per_day: int, weekly) -> None:
+        self.bins_per_day = bins_per_day
+        self.bin_seconds = SECONDS_PER_DAY / bins_per_day
+        self.busy = np.asarray(weekly, dtype=float)
+        self.idle = 1.0 - self.busy
 
 
 class Gupa:
@@ -19,7 +50,22 @@ class Gupa:
 
     def __init__(self):
         self._patterns: dict[str, dict] = {}
+        self._grids: dict[str, _PatternGrid] = {}
+        # Per-bins_per_day stacked grids for batch scoring, rebuilt
+        # lazily after upload/forget churn.  ``_width_counts`` tracks how
+        # many grids use each bin width, so the (overwhelmingly common)
+        # single-width case can skip per-node grouping entirely.
+        self._stacks: dict[int, tuple] = {}
+        self._stacks_dirty = True
+        self._width_counts: dict[int, int] = {}
         self.uploads = 0
+
+    def _count_width(self, bins_per_day: int, delta: int) -> None:
+        count = self._width_counts.get(bins_per_day, 0) + delta
+        if count:
+            self._width_counts[bins_per_day] = count
+        else:
+            self._width_counts.pop(bins_per_day, None)
 
     def upload_pattern(self, node: str, pattern: Optional[dict]) -> None:
         """Store (or refresh) a node's weekly profile."""
@@ -27,9 +73,34 @@ class Gupa:
             return
         if "weekly" not in pattern or "bins_per_day" not in pattern:
             raise ValueError(f"malformed pattern for node {node!r}")
-        if len(pattern["weekly"]) != 7:
+        weekly = pattern["weekly"]
+        if len(weekly) != 7:
             raise ValueError("weekly profile must have 7 rows")
+        bins_per_day = pattern["bins_per_day"]
+        if isinstance(bins_per_day, bool) or not isinstance(
+            bins_per_day, (int, np.integer)
+        ):
+            raise ValueError(
+                f"bins_per_day must be an integer, got {bins_per_day!r}"
+            )
+        bins_per_day = int(bins_per_day)
+        if bins_per_day <= 0 or SECONDS_PER_DAY % bins_per_day:
+            raise ValueError(
+                f"bins_per_day must divide the {SECONDS_PER_DAY}-second "
+                f"day evenly, got {bins_per_day}"
+            )
+        if any(len(row) != bins_per_day for row in weekly):
+            raise ValueError(
+                f"every weekly row must have bins_per_day={bins_per_day} "
+                "entries"
+            )
+        previous = self._grids.get(node)
+        if previous is not None:
+            self._count_width(previous.bins_per_day, -1)
         self._patterns[node] = dict(pattern)
+        self._grids[node] = _PatternGrid(bins_per_day, weekly)
+        self._count_width(bins_per_day, +1)
+        self._stacks_dirty = True
         self.uploads += 1
 
     def has_pattern(self, node: str) -> bool:
@@ -38,13 +109,58 @@ class Gupa:
     def forget(self, node: str) -> None:
         """Drop a node's pattern (node left the cluster)."""
         self._patterns.pop(node, None)
+        dropped = self._grids.pop(node, None)
+        if dropped is not None:
+            self._count_width(dropped.bins_per_day, -1)
+            self._stacks_dirty = True
 
     @property
     def known_nodes(self) -> list:
         return sorted(self._patterns)
 
+    # -- scalar queries ----------------------------------------------------------
+
     def busy_probability(self, node: str, when: float) -> float:
         """P(owner active at ``when``), or UNKNOWN without a pattern."""
+        grid = self._grids.get(node)
+        if grid is None:
+            return UNKNOWN
+        dow = int(when // SECONDS_PER_DAY) % 7
+        bin_index = int((when % SECONDS_PER_DAY) // grid.bin_seconds)
+        return float(grid.busy[dow, bin_index])
+
+    def idle_probability(self, node: str, start: float, duration: float) -> float:
+        """P(node stays idle through the span), or UNKNOWN.
+
+        Same independent-bins model as the LUPA side, computed from the
+        uploaded profile so the GRM never needs to call back to nodes.
+        """
+        grid = self._grids.get(node)
+        if grid is None:
+            return UNKNOWN
+        bin_seconds = grid.bin_seconds
+        busy = grid.busy
+        if duration <= 0:
+            dow = int(start // SECONDS_PER_DAY) % 7
+            bin_index = int((start % SECONDS_PER_DAY) // bin_seconds)
+            return 1.0 - float(busy[dow, bin_index])
+        probability = 1.0
+        t = start
+        end = start + duration
+        while t < end:
+            bin_end = (t // bin_seconds + 1) * bin_seconds
+            chunk = min(bin_end, end) - t
+            weight = chunk / bin_seconds
+            dow = int(t // SECONDS_PER_DAY) % 7
+            bin_index = int((t % SECONDS_PER_DAY) // bin_seconds)
+            probability *= (1.0 - float(busy[dow, bin_index])) ** weight
+            t = min(bin_end, end)
+        return probability
+
+    # -- reference oracles (the seed implementation, unoptimized) ----------------
+
+    def busy_probability_scalar(self, node: str, when: float) -> float:
+        """Seed implementation of :meth:`busy_probability` (oracle)."""
         pattern = self._patterns.get(node)
         if pattern is None:
             return UNKNOWN
@@ -54,19 +170,17 @@ class Gupa:
         bin_index = int((when % SECONDS_PER_DAY) // bin_seconds)
         return float(pattern["weekly"][dow][bin_index])
 
-    def idle_probability(self, node: str, start: float, duration: float) -> float:
-        """P(node stays idle through the span), or UNKNOWN.
-
-        Same independent-bins model as the LUPA side, computed from the
-        uploaded profile so the GRM never needs to call back to nodes.
-        """
+    def idle_probability_scalar(
+        self, node: str, start: float, duration: float
+    ) -> float:
+        """Seed implementation of :meth:`idle_probability` (oracle)."""
         pattern = self._patterns.get(node)
         if pattern is None:
             return UNKNOWN
         bins_per_day = pattern["bins_per_day"]
         bin_seconds = SECONDS_PER_DAY / bins_per_day
         if duration <= 0:
-            return 1.0 - self.busy_probability(node, start)
+            return 1.0 - self.busy_probability_scalar(node, start)
         probability = 1.0
         t = start
         end = start + duration
@@ -74,6 +188,197 @@ class Gupa:
             bin_end = (t // bin_seconds + 1) * bin_seconds
             chunk = min(bin_end, end) - t
             weight = chunk / bin_seconds
-            probability *= (1.0 - self.busy_probability(node, t)) ** weight
+            probability *= (
+                1.0 - self.busy_probability_scalar(node, t)
+            ) ** weight
             t = min(bin_end, end)
         return probability
+
+    # -- batch scoring -----------------------------------------------------------
+
+    def idle_probabilities(self, nodes, start: float, duration) -> np.ndarray:
+        """Vectorized :meth:`idle_probability` over many nodes at once.
+
+        ``duration`` is a scalar or a per-node array.  Returns a float64
+        array aligned with ``nodes``; entries for nodes without an
+        uploaded pattern are ``UNKNOWN``.  Bit-identical to calling the
+        scalar method per node.
+        """
+        nodes = list(nodes)
+        n = len(nodes)
+        out = np.full(n, UNKNOWN)
+        if n == 0:
+            return out
+        durations = np.asarray(duration, dtype=float)
+        if durations.ndim == 0:
+            durations = np.full(n, float(durations))
+        elif durations.shape != (n,):
+            raise ValueError(
+                f"duration must be a scalar or shape ({n},), "
+                f"got {durations.shape}"
+            )
+        if not self._grids:
+            return out
+        if len(self._width_counts) == 1:
+            # Single bin width across every grid (the normal case: all
+            # LUPAs run the same configuration) — one index pass, no
+            # per-node grouping.
+            bins_per_day = next(iter(self._width_counts))
+            index = self._stack(bins_per_day)[0]
+            index_get = index.get
+            rows = np.fromiter(
+                (index_get(node, -1) for node in nodes),
+                dtype=np.int64, count=n,
+            )
+            if rows.min() >= 0:
+                idxs = np.arange(n)
+                known_rows = rows
+            else:
+                idxs = np.nonzero(rows >= 0)[0]
+                if not idxs.size:
+                    return out
+                known_rows = rows[idxs]
+            self._score_group(
+                known_rows, idxs, bins_per_day, start, durations, out
+            )
+            return out
+        groups: dict[int, list] = {}
+        for i, node in enumerate(nodes):
+            grid = self._grids.get(node)
+            if grid is not None:
+                groups.setdefault(grid.bins_per_day, []).append(i)
+        for bins_per_day, group in groups.items():
+            index = self._stack(bins_per_day)[0]
+            idxs = np.asarray(group)
+            rows = np.array([index[nodes[i]] for i in group])
+            self._score_group(rows, idxs, bins_per_day, start, durations, out)
+        return out
+
+    def _stack(self, bins_per_day: int) -> tuple:
+        """(node -> row, busy stack, flat idle grid) for one bin width.
+
+        The idle factors are kept raveled (row-major, one 7*bins_per_day
+        slab per node) so batch scoring can gather factors with a single
+        flat ``np.take``.
+        """
+        if self._stacks_dirty:
+            self._stacks = {}
+            self._stacks_dirty = False
+        cached = self._stacks.get(bins_per_day)
+        if cached is None:
+            members = [
+                (node, grid) for node, grid in self._grids.items()
+                if grid.bins_per_day == bins_per_day
+            ]
+            index = {node: row for row, (node, _) in enumerate(members)}
+            busy = np.stack([grid.busy for _, grid in members])
+            idle_flat = np.stack(
+                [grid.idle for _, grid in members]
+            ).reshape(len(members), -1).ravel()
+            cached = (index, busy, idle_flat)
+            self._stacks[bins_per_day] = cached
+        return cached
+
+    def _score_group(
+        self, rows, idxs, bins_per_day, start, durations, out
+    ) -> None:
+        """Score one same-bin-width group (stack rows ``rows``) into ``out``."""
+        _, busy_stack, idle_flat = self._stack(bins_per_day)
+        bin_seconds = SECONDS_PER_DAY / bins_per_day
+        group_durations = durations[idxs]
+
+        nonpositive = group_durations <= 0.0
+        if nonpositive.any():
+            dow = int(start // SECONDS_PER_DAY) % 7
+            bin_index = int((start % SECONDS_PER_DAY) // bin_seconds)
+            out[idxs[nonpositive]] = (
+                1.0 - busy_stack[rows[nonpositive], dow, bin_index]
+            )
+        positive = ~nonpositive
+        if not positive.any():
+            return
+        out_idx = idxs[positive]
+        rows_p = rows[positive]
+        ends = start + group_durations[positive]
+
+        # Shared chunk grid: chunk 0 starts at ``start``; chunk j >= 1
+        # starts at boundary B_j = (start // bin_seconds + j) * bin_seconds,
+        # exactly the values the scalar loop steps through.  A node's
+        # span has 1 + #{B_j < end} chunks (strict, matching ``t < end``).
+        q = start // bin_seconds
+        first_boundary = (q + 1.0) * bin_seconds
+        max_end = float(ends.max())
+        overshoot = (max_end - first_boundary) / bin_seconds
+        j_hi = max(int(overshoot), 0) + 2
+        boundaries = (q + np.arange(1, j_hi + 1)) * bin_seconds
+        n_chunks = 1 + np.searchsorted(boundaries, ends, side="left")
+        m = int(n_chunks.max())
+
+        chunk_starts = np.empty(m)
+        chunk_starts[0] = start
+        chunk_starts[1:] = boundaries[: m - 1]
+        dows = (chunk_starts // SECONDS_PER_DAY).astype(np.int64) % 7
+        bins = ((chunk_starts % SECONDS_PER_DAY) // bin_seconds).astype(
+            np.int64
+        )
+        # Column offsets into each node's raveled (7 x bins_per_day) slab.
+        flat_cols = dows * bins_per_day + bins
+        row_base = rows_p * (7 * bins_per_day)
+
+        # Fractional edge weights (first and last chunk); interior
+        # chunks have weight exactly 1.0 because bin_seconds is an
+        # integer-valued float, so the scalar path's ``x ** 1.0`` is the
+        # identity and the grid factor is used as-is.
+        first_weight = (np.minimum(first_boundary, ends) - start) / bin_seconds
+        last_chunk = n_chunks - 1
+        last_start = chunk_starts[last_chunk]
+        last_weight = (ends - last_start) / bin_seconds
+
+        g = len(rows_p)
+        product = np.ones(g)
+        columns = np.arange(m)
+        for j0 in range(0, m, _CHUNK_COLUMNS):
+            j1 = min(j0 + _CHUNK_COLUMNS, m)
+            factors = np.take(
+                idle_flat, row_base[:, None] + flat_cols[None, j0:j1]
+            )
+            # Chunks past a node's span multiply by exactly 1.0.
+            factors[columns[None, j0:j1] >= n_chunks[:, None]] = 1.0
+            # Fractional edge factors use ``math.pow`` (libm pow, the
+            # same routine Python's ``float ** float`` calls in the
+            # scalar loop) — np.power would be 1 ulp off on SIMD builds.
+            if j0 == 0:
+                fractional = np.nonzero(first_weight != 1.0)[0]
+                if fractional.size:
+                    factors[fractional, 0] = [
+                        math.pow(base, weight) for base, weight in zip(
+                            factors[fractional, 0].tolist(),
+                            first_weight[fractional].tolist(),
+                        )
+                    ]
+            needs_pow = (
+                (last_chunk >= max(j0, 1))
+                & (last_chunk < j1)
+                & (last_weight != 1.0)
+            )
+            edge_rows = np.nonzero(needs_pow)[0]
+            if edge_rows.size:
+                edge_cols = last_chunk[edge_rows] - j0
+                factors[edge_rows, edge_cols] = [
+                    math.pow(base, weight) for base, weight in zip(
+                        factors[edge_rows, edge_cols].tolist(),
+                        last_weight[edge_rows].tolist(),
+                    )
+                ]
+            # Prepending the carry keeps strict left-to-right
+            # association: ((carry * f_j0) * f_j0+1) * ...  On the first
+            # block the carry is all-ones, and 1.0 * x == x bit-exactly,
+            # so the plain reduce is identical and skips the concat.
+            if j0 == 0:
+                product = np.multiply.reduce(factors, axis=1)
+            else:
+                product = np.multiply.reduce(
+                    np.concatenate([product[:, None], factors], axis=1),
+                    axis=1,
+                )
+        out[out_idx] = product

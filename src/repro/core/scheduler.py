@@ -5,11 +5,21 @@ headline policy is the usage-pattern-aware one: prefer nodes whose LUPA
 profile predicts a long idle span (Section 3: "the scheduler can place
 parallel applications on idle nodes with lower probability of becoming
 busy before the computation is completed").
+
+Ranking is array-native: a policy extracts per-offer numeric columns
+once (cached on the :class:`ScheduleContext`), scores every candidate
+in one numpy pass — pattern-aware scoring goes through
+:meth:`Gupa.idle_probabilities` — and orders with a stable argsort on
+the negated scores, which reproduces ``sorted(..., reverse=True)``
+exactly, ties included.  The seed implementations are retained as
+``order_scalar`` reference oracles for the equivalence suite.
 """
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
+
+import numpy as np
 
 from repro.apps.spec import ApplicationSpec, VirtualTopologyRequest
 from repro.core.gupa import Gupa, UNKNOWN
@@ -24,6 +34,7 @@ class ScheduleContext:
     remaining_mips: float
     now: float
     gupa: Optional[Gupa] = None
+    _arrays_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     def estimated_duration(self, offer: dict) -> float:
         """Rough runtime of the task on the offered node, in seconds."""
@@ -35,6 +46,53 @@ class ScheduleContext:
         if rate <= 0:
             return float("inf")
         return self.remaining_mips / rate
+
+    def arrays(self, offers: list) -> dict:
+        """Per-offer numeric columns for vectorized scoring.
+
+        Cached per offers-list identity so repeated orderings of the
+        same candidate set (policy ranking, preference re-ranking, gang
+        passes) extract the dict fields once.  The cached entry keeps a
+        reference to the list, so ``id`` reuse cannot alias a stale hit.
+        """
+        key = id(offers)
+        hit = self._arrays_cache.get(key)
+        if hit is not None and hit[0] is offers:
+            return hit[1]
+        try:
+            # Direct subscripts: every GRM status offer carries these
+            # keys; the fallback keeps the seed's .get(..., 0.0) default
+            # for hand-built sparse offers.
+            mips_list = [o["mips"] for o in offers]
+            cpu_list = [o["cpu_free"] for o in offers]
+        except KeyError:
+            mips_list = [o.get("mips", 0.0) for o in offers]
+            cpu_list = [o.get("cpu_free", 0.0) for o in offers]
+        node_list = [o.get("node") for o in offers]
+        mips = np.array(mips_list, dtype=float)
+        cpu_free = np.array(cpu_list, dtype=float)
+        share = np.minimum(self.spec.requirements.cpu_fraction, cpu_free)
+        arrays = {
+            "mips": mips,
+            "cpu_free": cpu_free,
+            "speed": mips * cpu_free,
+            "rate": mips * share,
+            "nodes": node_list,
+        }
+        if len(self._arrays_cache) >= 8:
+            self._arrays_cache.clear()
+        self._arrays_cache[key] = (offers, arrays)
+        return arrays
+
+
+def _order_by_scores(offers: list, scores: np.ndarray) -> list:
+    """Best-score-first with ties keeping input order.
+
+    ``np.argsort`` (stable) on the negated scores is exactly
+    ``sorted(offers, key=score, reverse=True)``: descending by score,
+    original order among equal scores.
+    """
+    return [offers[i] for i in np.argsort(-scores, kind="stable")]
 
 
 class SchedulingPolicy:
@@ -75,6 +133,27 @@ class FastestFirstPolicy(SchedulingPolicy):
     name = "fastest_first"
 
     def order(self, offers: list, ctx: ScheduleContext) -> list:
+        if len(offers) <= 1:
+            return list(offers)
+        cached = ctx._arrays_cache.get(id(offers))
+        if cached is not None and cached[0] is offers:
+            speed = cached[1]["speed"]
+        else:
+            # Needs only the speed column — score directly instead of
+            # paying for the full per-offer array extraction.
+            try:
+                speed = np.array(
+                    [o["mips"] * o["cpu_free"] for o in offers]
+                )
+            except KeyError:
+                speed = np.array([
+                    o.get("mips", 0.0) * o.get("cpu_free", 0.0)
+                    for o in offers
+                ])
+        return _order_by_scores(offers, speed)
+
+    def order_scalar(self, offers: list, ctx: ScheduleContext) -> list:
+        """Seed implementation (oracle for the equivalence suite)."""
         return sorted(
             offers,
             key=lambda o: o.get("mips", 0.0) * o.get("cpu_free", 0.0),
@@ -96,21 +175,58 @@ class PatternAwarePolicy(SchedulingPolicy):
     def __init__(self, unknown_probability: float = 0.5):
         self.unknown_probability = unknown_probability
 
-    def _score(self, offer: dict, ctx: ScheduleContext) -> float:
+    def order(self, offers: list, ctx: ScheduleContext) -> list:
+        if len(offers) <= 1:
+            return list(offers)
+        arrays = ctx.arrays(offers)
+        speed = arrays["speed"]
+        if ctx.gupa is None:
+            return _order_by_scores(offers, speed * self.unknown_probability)
+        rate = arrays["rate"]
+        feasible = rate > 0.0   # rate <= 0 means infinite duration: score 0
+        if feasible.all():
+            durations = ctx.remaining_mips / rate
+            p_idle = ctx.gupa.idle_probabilities(
+                arrays["nodes"], ctx.now, durations
+            )
+            p_idle = np.where(
+                p_idle == UNKNOWN, self.unknown_probability, p_idle
+            )
+            return _order_by_scores(offers, speed * p_idle)
+        scores = np.zeros(len(offers))
+        if feasible.any():
+            indices = np.nonzero(feasible)[0]
+            node_list = arrays["nodes"]
+            durations = ctx.remaining_mips / rate[indices]
+            p_idle = ctx.gupa.idle_probabilities(
+                [node_list[i] for i in indices], ctx.now, durations
+            )
+            p_idle = np.where(
+                p_idle == UNKNOWN, self.unknown_probability, p_idle
+            )
+            scores[indices] = speed[indices] * p_idle
+        return _order_by_scores(offers, scores)
+
+    # -- seed implementation (oracle for the equivalence suite) --------------
+
+    def _score_scalar(self, offer: dict, ctx: ScheduleContext) -> float:
         speed = offer.get("mips", 0.0) * offer.get("cpu_free", 0.0)
         if ctx.gupa is None:
             return speed * self.unknown_probability
         duration = ctx.estimated_duration(offer)
         if duration == float("inf"):
             return 0.0
-        p_idle = ctx.gupa.idle_probability(offer["node"], ctx.now, duration)
+        idle_probability = getattr(
+            ctx.gupa, "idle_probability_scalar", ctx.gupa.idle_probability
+        )
+        p_idle = idle_probability(offer["node"], ctx.now, duration)
         if p_idle == UNKNOWN:
             p_idle = self.unknown_probability
         return speed * p_idle
 
-    def order(self, offers: list, ctx: ScheduleContext) -> list:
+    def order_scalar(self, offers: list, ctx: ScheduleContext) -> list:
         return sorted(
-            offers, key=lambda o: self._score(o, ctx), reverse=True
+            offers, key=lambda o: self._score_scalar(o, ctx), reverse=True
         )
 
 

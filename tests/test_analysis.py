@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.analysis.clustering import best_k, kmeans, silhouette_score
+from repro.analysis.clustering import (
+    best_k,
+    kmeans,
+    silhouette_score,
+    silhouette_score_reference,
+)
 from repro.analysis.metrics import Table, describe, percentile
 
 
@@ -68,6 +73,27 @@ class TestKmeans:
         inertia_3 = kmeans(data, 3, seed=0).inertia
         assert inertia_3 < inertia_1
 
+    def test_nonpositive_max_iter_rejected(self):
+        # Previously an UnboundLocalError (``iteration`` never bound).
+        with pytest.raises(ValueError, match="max_iter"):
+            kmeans(three_blobs(), 3, max_iter=0)
+        with pytest.raises(ValueError, match="max_iter"):
+            kmeans(three_blobs(), 3, max_iter=-5)
+
+    def test_warm_start_from_converged_centroids(self):
+        data = three_blobs()
+        cold = kmeans(data, 3, seed=1)
+        warm = kmeans(data, 3, seed=1, init=cold.centroids)
+        # Already at the fixed point: one assignment pass, same answer.
+        assert warm.iterations == 1
+        assert np.array_equal(warm.labels, cold.labels)
+        assert np.array_equal(warm.centroids, cold.centroids)
+
+    def test_warm_start_shape_validated(self):
+        data = three_blobs()
+        with pytest.raises(ValueError, match="init"):
+            kmeans(data, 3, init=np.zeros((2, 2)))
+
 
 class TestSilhouette:
     def test_well_separated_scores_high(self):
@@ -93,6 +119,24 @@ class TestSilhouette:
     def test_best_k_empty_range(self):
         with pytest.raises(ValueError):
             best_k(three_blobs(), range(100, 101))
+
+    def test_chunked_matches_reference(self):
+        # The chunked x^2+y^2-2xy form is numerically equivalent (not
+        # bit-equal) to the seed's full pairwise broadcast.
+        rng = np.random.default_rng(11)
+        for k in (2, 3, 5):
+            data = rng.random((60, 8))
+            labels = kmeans(data, k, seed=2).labels
+            assert silhouette_score(data, labels) == pytest.approx(
+                silhouette_score_reference(data, labels), abs=1e-6
+            )
+
+    def test_chunked_matches_reference_with_singletons(self):
+        data = np.array([[0.0, 0.0], [0.1, 0.0], [10.0, 10.0], [50.0, 50.0]])
+        labels = np.array([0, 0, 1, 2])   # two singleton clusters
+        assert silhouette_score(data, labels) == pytest.approx(
+            silhouette_score_reference(data, labels), abs=1e-9
+        )
 
 
 class TestPercentile:

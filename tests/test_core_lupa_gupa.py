@@ -57,6 +57,55 @@ class TestLupaCollection:
             Lupa(loop, "n0", probe=lambda: 0.0, bins_per_day=7)
         with pytest.raises(ValueError):
             Lupa(loop, "n0", probe=lambda: 0.0, categories=0)
+        with pytest.raises(ValueError):
+            Lupa(loop, "n0", probe=lambda: 0.0, relearn_interval=0)
+
+
+def weekday_lupa(days, relearn_interval=1, min_history_days=3):
+    """A LUPA fed a deterministic weekday-busy / weekend-idle owner."""
+    loop = EventLoop()
+    lupa = Lupa(
+        loop, "n0",
+        probe=lambda: 1.0 if (
+            int(loop.now // SECONDS_PER_DAY) % 7 < 5
+            and 9 * SECONDS_PER_HOUR <= loop.now % SECONDS_PER_DAY
+            < 17 * SECONDS_PER_HOUR
+        ) else 0.0,
+        min_history_days=min_history_days,
+        relearn_interval=relearn_interval,
+    )
+    loop.run_until(days * SECONDS_PER_DAY + SECONDS_PER_HOUR)
+    return lupa
+
+
+class TestLupaIncrementalLearning:
+    def test_default_relearns_daily(self):
+        lupa = weekday_lupa(days=10)
+        assert lupa.incremental_updates == 0
+        # One full clustering pass per finished day once history suffices.
+        assert lupa.full_relearns == 10 - 3 + 1
+
+    def test_interval_skips_clustering_passes(self):
+        daily = weekday_lupa(days=10)
+        sparse = weekday_lupa(days=10, relearn_interval=7)
+        assert sparse.full_relearns < daily.full_relearns
+        assert sparse.incremental_updates > 0
+        # Every finished day still refreshes the profile one way or the other.
+        assert sparse.full_relearns + sparse.incremental_updates \
+            == daily.full_relearns
+
+    def test_incremental_profile_still_predicts(self):
+        lupa = weekday_lupa(days=14, relearn_interval=7)
+        assert lupa.learned
+        tuesday_noon = (7 + 1) * SECONDS_PER_DAY + 12 * SECONDS_PER_HOUR
+        saturday_noon = (7 + 5) * SECONDS_PER_DAY + 12 * SECONDS_PER_HOUR
+        assert lupa.predict_busy(tuesday_noon) > 0.8
+        assert lupa.predict_busy(saturday_noon) < 0.2
+
+    def test_learn_wall_time_accumulates(self):
+        lupa = weekday_lupa(days=5)
+        assert lupa.full_relearns > 0
+        assert lupa.learn_wall_s > 0.0
 
 
 class TestLupaLearning:
@@ -153,6 +202,65 @@ class TestGupa:
             gupa.upload_pattern("n0", {"weekly": [[0.0]]})
         with pytest.raises(ValueError):
             gupa.upload_pattern("n0", {"bins_per_day": 24})
+
+    def test_non_dividing_bins_per_day_rejected(self):
+        gupa = Gupa()
+        for bad in (7, 23, 1000):   # none divide the 86400-second day
+            with pytest.raises(ValueError, match="divide"):
+                gupa.upload_pattern(
+                    "n0", {"bins_per_day": bad, "weekly": [[0.0] * bad] * 7}
+                )
+        assert not gupa.has_pattern("n0")
+
+    def test_nonpositive_or_non_integer_bins_rejected(self):
+        gupa = Gupa()
+        for bad in (0, -24, 24.0, "24", True):
+            with pytest.raises(ValueError):
+                gupa.upload_pattern(
+                    "n0", {"bins_per_day": bad, "weekly": [[0.0]] * 7}
+                )
+
+    def test_row_length_mismatch_rejected(self):
+        gupa = Gupa()
+        weekly = [[0.0] * 24 for _ in range(7)]
+        weekly[3] = [0.0] * 23   # one short row
+        with pytest.raises(ValueError, match="row"):
+            gupa.upload_pattern("n0", {"bins_per_day": 24, "weekly": weekly})
+        assert not gupa.has_pattern("n0")
+
+    def test_batch_matches_single_queries(self):
+        gupa = Gupa()
+        gupa.upload_pattern("n0", self.make_pattern())
+        gupa.upload_pattern("n1", self.make_pattern(busy_hours=(0, 24)))
+        start = 8 * SECONDS_PER_HOUR
+        duration = 4 * SECONDS_PER_HOUR
+        batch = gupa.idle_probabilities(
+            ["n0", "n1", "ghost"], start, duration
+        )
+        assert batch[0] == gupa.idle_probability("n0", start, duration)
+        assert batch[1] == gupa.idle_probability("n1", start, duration)
+        assert batch[2] == UNKNOWN
+
+    def test_batch_mixed_bin_widths(self):
+        gupa = Gupa()
+        gupa.upload_pattern("hourly", self.make_pattern(bins_per_day=24))
+        gupa.upload_pattern(
+            "halfhour", self.make_pattern(bins_per_day=48)
+        )
+        start = 16 * SECONDS_PER_HOUR + 600.0
+        batch = gupa.idle_probabilities(["hourly", "halfhour"], start, 7200.0)
+        for node, value in zip(["hourly", "halfhour"], batch):
+            assert value == gupa.idle_probability(node, start, 7200.0)
+
+    def test_batch_per_node_durations(self):
+        gupa = Gupa()
+        gupa.upload_pattern("n0", self.make_pattern())
+        gupa.upload_pattern("n1", self.make_pattern())
+        import numpy as np
+        durations = np.array([3600.0, -1.0])
+        batch = gupa.idle_probabilities(["n0", "n1"], 1000.0, durations)
+        assert batch[0] == gupa.idle_probability("n0", 1000.0, 3600.0)
+        assert batch[1] == gupa.idle_probability("n1", 1000.0, -1.0)
 
     def test_idle_probability_spans(self):
         gupa = Gupa()
