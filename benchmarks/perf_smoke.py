@@ -27,7 +27,7 @@ from bench_e11_orb import (          # noqa: E402
     _best_rate,
     build_trader,
 )
-from bench_s1_simulator_throughput import measure_hour  # noqa: E402
+from bench_s1_simulator_throughput import build, measure_hour  # noqa: E402
 from bench_s2_scheduler_throughput import (  # noqa: E402
     _best_pass_s,
     build_workload,
@@ -38,6 +38,41 @@ from repro.core.scheduler import PatternAwarePolicy  # noqa: E402
 from conftest import load_json       # noqa: E402
 
 TOLERANCE = 0.30
+#: Always-on metrics must cost no more than this fraction of S1
+#: throughput.  The registry is views-only on the S1 path (evaluated at
+#: snapshot time, never per event), so the real cost is ~0; the gate
+#: catches someone accidentally putting allocation or formatting onto
+#: the hot path.
+METRICS_TOLERANCE = 0.05
+
+
+def measure_metrics_overhead(nodes=32, best_of=3):
+    """Best events/s for one simulated hour: plain vs metrics enabled.
+
+    The two grids are measured interleaved, round by round, so machine
+    drift during the run biases both configurations equally; best-of
+    rides out transient noise the same way ``measure_hour`` does.
+    """
+    import time
+
+    from repro.sim.clock import SECONDS_PER_HOUR
+
+    plain = build(nodes)
+    metered = build(nodes)
+    registry = metered.enable_metrics()
+    assert metered.tracer is None, "tracing must stay opt-in"
+    best = {"plain": 0.0, "metered": 0.0}
+    for _ in range(best_of):
+        for label, grid in (("plain", plain), ("metered", metered)):
+            before = grid.loop.events_fired
+            start = time.perf_counter()
+            grid.run_for(SECONDS_PER_HOUR)
+            elapsed = time.perf_counter() - start
+            rate = (grid.loop.events_fired - before) / elapsed
+            best[label] = max(best[label], rate)
+    # The registry really was live the whole time.
+    assert registry.snapshot()["metrics"]["eventloop.events_fired"] > 0
+    return best["plain"], best["metered"]
 
 
 def check(name, measured, baseline):
@@ -88,6 +123,15 @@ def main():
         failures += not check(
             "S2 pattern-aware ranking (1024 nodes)", 1024 / pass_s, baseline
         )
+
+    plain_rate, metered_rate = measure_metrics_overhead()
+    ratio = metered_rate / plain_rate if plain_rate else 0.0
+    ok = ratio >= 1.0 - METRICS_TOLERANCE
+    verdict = "ok" if ok else "REGRESSION"
+    print(f"S1 metrics overhead (32 nodes): plain {plain_rate:,.0f}/s, "
+          f"metrics-on {metered_rate:,.0f}/s, ratio {ratio:.3f} "
+          f"(floor {1.0 - METRICS_TOLERANCE:.2f}) -> {verdict}")
+    failures += not ok
 
     return 1 if failures else 0
 

@@ -30,17 +30,26 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 def describe(values: Sequence[float]) -> dict:
-    """Mean, min, max, p50, p95, and count for a sample."""
+    """Mean, min, max, p50, p95, p99, stddev, and count for a sample.
+
+    An empty sample returns count 0 and 0.0 for every statistic (rather
+    than raising, so reports over possibly-empty series stay total);
+    stddev is the population standard deviation, 0.0 for a single value.
+    """
     if not values:
         return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
-                "p50": 0.0, "p95": 0.0}
+                "p50": 0.0, "p95": 0.0, "p99": 0.0, "stddev": 0.0}
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
     return {
         "count": len(values),
-        "mean": sum(values) / len(values),
+        "mean": mean,
         "min": min(values),
         "max": max(values),
         "p50": percentile(values, 50),
         "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "stddev": math.sqrt(max(0.0, variance)),
     }
 
 

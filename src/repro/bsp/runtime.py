@@ -14,6 +14,7 @@ exception aborts the whole run.
 
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 from repro.bsp.drma import Registers
@@ -54,15 +55,27 @@ def run_bsp(
     fn: Callable,
     *args,
     sync_timeout: float = DEFAULT_SYNC_TIMEOUT,
+    metrics=None,
 ) -> BspRun:
     """Execute ``fn(bsp, *args)`` on ``nprocs`` BSP processes.
 
     Returns a :class:`BspRun` whose ``results`` list holds each process's
     return value, indexed by pid.  Raises :class:`BspError` if any
     process raised.
+
+    ``metrics`` optionally takes a :class:`~repro.obs.MetricsRegistry`;
+    each process's wall time waiting at the superstep barrier is then
+    recorded into a ``bsp.barrier_wait_s`` histogram (the BSP cost
+    model's ``l`` term, measured).  Observations are GIL-serialised
+    plain attribute bumps, so concurrent waits are safe to record.
     """
     if nprocs <= 0:
         raise ValueError(f"nprocs must be positive, got {nprocs}")
+    barrier_hist = None
+    if metrics is not None:
+        from repro.obs.metrics import LATENCY_BOUNDS_S
+        barrier_hist = metrics.histogram("bsp.barrier_wait_s",
+                                         LATENCY_BOUNDS_S)
     buffers = MessageBuffers(nprocs)
     registers = Registers(nprocs)
     state = _SharedState(nprocs, buffers, registers)
@@ -82,6 +95,7 @@ def run_bsp(
 
     def sync_for(pid: int) -> Callable[[], None]:
         def sync():
+            started = perf_counter() if barrier_hist is not None else 0.0
             try:
                 barrier.wait(timeout=sync_timeout)
             except threading.BrokenBarrierError:
@@ -90,6 +104,9 @@ def run_bsp(
                 if all_done:
                     return   # drain release: the run is over
                 raise BspError(f"pid {pid}: run aborted at the barrier")
+            finally:
+                if barrier_hist is not None:
+                    barrier_hist.observe(perf_counter() - started)
         return sync
 
     def worker(pid: int) -> None:

@@ -36,6 +36,9 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results-dir", default=None,
                         help="directory of saved tables "
                              "(default: benchmarks/results)")
+    report.add_argument("--metrics", default=None, metavar="FILE",
+                        help="also print a metrics snapshot JSON file "
+                             "(from simulate --metrics-json)")
 
     simulate = sub.add_parser(
         "simulate", help="run a parameterised desktop-grid simulation"
@@ -67,6 +70,14 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="checkpoint interval in seconds (0 = off)")
     simulate.add_argument("--dashboard", action="store_true",
                           help="print utilisation sparklines for the run")
+    simulate.add_argument("--trace", default=None, metavar="PATH",
+                          help="record spans and write a Chrome "
+                               "trace_event JSON (open in about:tracing)")
+    simulate.add_argument("--trace-jsonl", default=None, metavar="PATH",
+                          help="record spans and write them as JSONL")
+    simulate.add_argument("--metrics-json", default=None, metavar="PATH",
+                          help="enable the metrics registry and write its "
+                               "final snapshot as JSON")
     return parser
 
 
@@ -147,6 +158,14 @@ def cmd_simulate(args) -> int:
         monitor = ClusterMonitor(grid.loop, grid.clusters["sim"].grm,
                                  period=1800.0)
 
+    tracer = None
+    if args.trace or args.trace_jsonl:
+        tracer = grid.enable_tracing()
+    if args.metrics_json:
+        grid.enable_metrics()
+        if monitor is not None:
+            monitor.to_metrics(grid.metrics)
+
     print(f"{args.nodes} x {args.profile} workstations"
           + (f" + {args.dedicated} dedicated" if args.dedicated else "")
           + f", policy={args.policy}, seed={args.seed}")
@@ -158,13 +177,19 @@ def cmd_simulate(args) -> int:
     work = args.work_hours * 3600.0 * 1000.0
     print(f"Submitting {args.jobs} jobs of {args.work_hours} idle-hours "
           "each (Monday 09:00)...")
-    job_ids = [
-        grid.submit(ApplicationSpec(
+    def _submit(j: int) -> str:
+        spec = ApplicationSpec(
             name=f"job{j}", work_mips=work,
             metadata={"checkpoint_interval_s": args.checkpoint_s},
-        ))
-        for j in range(args.jobs)
-    ]
+        )
+        if tracer is None:
+            return grid.submit(spec)
+        # Each submission roots its own trace; everything the job causes
+        # (schedule passes, trader queries, reservations) links under it.
+        with tracer.span("cli.submit", component="cli", job_name=spec.name):
+            return grid.submit(spec)
+
+    job_ids = [_submit(j) for j in range(args.jobs)]
     deadline = grid.loop.now + args.horizon_days * SECONDS_PER_DAY
     while grid.loop.now < deadline:
         grid.run_for(SECONDS_PER_HOUR)
@@ -198,11 +223,51 @@ def cmd_simulate(args) -> int:
             ("grid tasks running", "grid_tasks"),
         ):
             print(f"  {label:<20} |{monitor.sparkline(field_name, 60)}|")
+    if tracer is not None:
+        from repro.obs import export_chrome_trace, export_jsonl
+        if args.trace:
+            export_chrome_trace(tracer.finished, args.trace)
+            print(f"\nChrome trace ({len(tracer)} spans) -> {args.trace}")
+        if args.trace_jsonl:
+            export_jsonl(tracer.finished, args.trace_jsonl)
+            print(f"Span JSONL ({len(tracer)} spans) -> {args.trace_jsonl}")
+    if args.metrics_json:
+        from repro.obs import export_metrics_json
+        export_metrics_json(grid.metrics, args.metrics_json)
+        print(f"Metrics snapshot -> {args.metrics_json}")
+    return 0
+
+
+def _print_metrics_file(path: str) -> int:
+    import json
+
+    with open(path) as f:
+        snapshot = json.load(f)
+    metrics = snapshot.get("metrics", {})
+    table = Table(["metric", "value"],
+                  title=f"Metrics snapshot at t={snapshot.get('time', 0.0)}s")
+    for name in sorted(metrics):
+        value = metrics[name]
+        if isinstance(value, dict):   # histogram snapshot
+            table.add_row(
+                name,
+                f"n={value.get('count', 0)} mean={value.get('mean', 0.0):.3g} "
+                f"p95={value.get('p95', 0.0):.3g} p99={value.get('p99', 0.0):.3g}",
+            )
+        else:
+            table.add_row(name, value)
+    print(table.render())
     return 0
 
 
 def cmd_report(args) -> int:
     import os
+
+    if getattr(args, "metrics", None):
+        _print_metrics_file(args.metrics)
+        if args.results_dir is None:
+            return 0   # metrics-only report
+        print()
 
     directory = args.results_dir
     if directory is None:

@@ -125,16 +125,26 @@ class Grid:
             self._credentials = Credentials("integrade", auth_secret)
         self._coordinators: dict[str, object] = {}
         self._job_cluster: dict[str, str] = {}
+        #: Observability: None until enable_metrics()/enable_tracing().
+        self.metrics = None
+        self.tracer = None
+        self._orbs: list[Orb] = []
 
     def _make_orb(self, name: str) -> Orb:
         """All grid ORBs share the membership credential (if any)."""
-        return Orb(
+        orb = Orb(
             name,
             domain=self.domain,
             credentials=self._credentials,
             keyring=self._keyring,
             require_auth=self._keyring is not None,
         )
+        self._orbs.append(orb)
+        if self.tracer is not None:
+            orb.set_tracer(self.tracer)
+        if self.metrics is not None:
+            orb.to_metrics(self.metrics)
+        return orb
 
     # -- assembly -------------------------------------------------------------------
 
@@ -187,6 +197,10 @@ class Grid:
             checkpoint_store=store,
         )
         self.clusters[name] = handle
+        if self.metrics is not None:
+            grm.bind_metrics(self.metrics)
+        if self.tracer is not None:
+            grm.set_tracer(self.tracer)
         return handle
 
     def add_node(
@@ -261,6 +275,7 @@ class Grid:
             lrm_ref.to_string(), lupa, dedicated,
         )
         handle.nodes[name] = node
+        self._bind_node_metrics(node)
         return node
 
     def add_trace_node(
@@ -332,6 +347,7 @@ class Grid:
             lrm_ref.to_string(), lupa, False,
         )
         handle.nodes[name] = node
+        self._bind_node_metrics(node)
         return node
 
     def remove_node(self, cluster: str, name: str) -> None:
@@ -436,6 +452,75 @@ class Grid:
         while not job.done and self.loop.now < deadline:
             self.loop.run_for(step)
         return job.done
+
+    # -- observability -----------------------------------------------------------------
+
+    def enable_metrics(self):
+        """Turn on the grid-wide metrics registry (idempotent).
+
+        Always-on-cheap: every pre-existing counter becomes a pull-view,
+        read only when a snapshot is taken; the only new recording work
+        is the GRM ranking and Trader query latency histograms.  Returns
+        the :class:`~repro.obs.MetricsRegistry`; components added later
+        are wired automatically.
+        """
+        if self.metrics is not None:
+            return self.metrics
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry(clock=self.loop.clock)
+        self.metrics = registry
+        self.loop.to_metrics(registry)
+        registry.view("orb.totals", self.protocol_stats)
+        for orb in self._orbs:
+            orb.to_metrics(registry)
+        for handle in self.clusters.values():
+            handle.grm.bind_metrics(registry)
+            for node in handle.nodes.values():
+                self._bind_node_metrics(node)
+        for field_name in ("completed_count", "evicted_count",
+                           "checkpoints_taken", "refused_reservations",
+                           "accepted_reservations", "updates_sent",
+                           "sandbox_violations"):
+            registry.view(
+                f"lrm.total.{field_name}",
+                lambda f=field_name: sum(
+                    getattr(n.lrm, f)
+                    for h in self.clusters.values()
+                    for n in h.nodes.values()
+                ),
+            )
+        return registry
+
+    def _bind_node_metrics(self, node: NodeHandle) -> None:
+        if self.metrics is None:
+            return
+        node.lrm.to_metrics(self.metrics)
+        if node.lupa is not None:
+            node.lupa.to_metrics(self.metrics)
+
+    def enable_tracing(self):
+        """Turn on span tracing across every ORB and GRM (idempotent).
+
+        Returns the grid's :class:`~repro.obs.Tracer`.  While enabled,
+        each traced ORB invocation carries its ``(trace_id, span_id)``
+        in a request-header extension, so a submission's spans connect
+        across the ASCT, GRM, Trader, and LRM hops.  Turn it back off
+        with ``grid.tracer.disable()`` — the wire format reverts to the
+        untraced bytes exactly.
+        """
+        if self.tracer is None:
+            from repro.obs.trace import Tracer
+            self.tracer = Tracer(clock=self.loop.clock)
+            for orb in self._orbs:
+                orb.set_tracer(self.tracer)
+            for handle in self.clusters.values():
+                handle.grm.set_tracer(self.tracer)
+        self.tracer.enable()
+        return self.tracer
+
+    def metrics_snapshot(self) -> dict:
+        """The registry snapshot; enables metrics on first use."""
+        return self.enable_metrics().snapshot()
 
     # -- metrics -----------------------------------------------------------------------
 

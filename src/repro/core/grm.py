@@ -10,7 +10,8 @@ negotiation with the selected nodes" (Section 4).
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from time import perf_counter
 from typing import Callable, Optional
 
 from repro.apps.job import Job, JobState, Task, TaskState
@@ -51,7 +52,13 @@ class NodeRecord:
 
 @dataclass
 class GrmStats:
-    """Counters the experiments report."""
+    """Counters the experiments report.
+
+    The attributes are the storage — hot paths bump them as plain ints,
+    exactly as before the metrics registry existed.  :meth:`to_metrics`
+    publishes every field as a registry view, so the registry snapshot
+    and the attribute API read the same numbers from one place.
+    """
 
     updates_received: int = 0
     negotiation_rounds: int = 0
@@ -64,6 +71,10 @@ class GrmStats:
     jobs_submitted: int = 0
     jobs_forwarded: int = 0
     nodes_declared_dead: int = 0
+
+    def to_metrics(self, registry, prefix: str = "grm") -> None:
+        """Publish every counter field as a pull-view on ``registry``."""
+        registry.bind(prefix, self, [f.name for f in fields(self)])
 
 
 class Grm:
@@ -92,6 +103,10 @@ class Grm:
         self.store = checkpoint_store
         self.trader = TradingService()
         self.stats = GrmStats()
+        #: Optional observability hooks; None keeps the seed hot paths.
+        self.tracer = None
+        self._rank_hist = None
+        self._job_trace_ctx: dict[str, tuple] = {}
 
         self._nodes: dict[str, NodeRecord] = {}
         self._jobs: dict[str, Job] = {}
@@ -111,6 +126,27 @@ class Grm:
         )
 
     # -- wiring -------------------------------------------------------------------
+
+    def bind_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Publish this GRM's stats and trader on a metrics registry.
+
+        Registers :class:`GrmStats` fields as views, binds the trader's
+        query accounting, and starts the per-pass ranking latency
+        histogram (two ``perf_counter`` calls per policy ranking).
+        """
+        prefix = prefix if prefix is not None else f"grm.{self.cluster}"
+        self.stats.to_metrics(registry, prefix)
+        registry.view(f"{prefix}.registered_nodes", lambda: len(self._nodes))
+        registry.view(f"{prefix}.pending_jobs", lambda: len(self._pending))
+        self.trader.bind_metrics(registry, prefix=f"trader.{self.cluster}")
+        from repro.obs.metrics import LATENCY_BOUNDS_S
+        self._rank_hist = registry.histogram(
+            f"{prefix}.rank_latency_s", LATENCY_BOUNDS_S
+        )
+
+    def set_tracer(self, tracer) -> None:
+        """Attach the grid's span tracer (schedule/trader/placement spans)."""
+        self.tracer = tracer
 
     def set_parent(self, parent_stub) -> None:
         """Attach the parent GRM for wide-area forwarding."""
@@ -215,6 +251,14 @@ class Grm:
             self._tasks[task.task_id] = (job, task)
         self._pending.append(job_id)
         self.stats.jobs_submitted += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.active:
+            # The first placement attempt runs from a deferred event, not
+            # inside this call; remember the submission's span so the
+            # schedule pass can parent back to it (one connected trace).
+            context = tracer.context()
+            if context is not None:
+                self._job_trace_ctx[job_id] = context
         self._emit(job_id, "submitted", spec.name)
         # Deferred so the caller can still attach a coordinator or ASCT
         # before the first placement attempt runs.
@@ -259,6 +303,7 @@ class Grm:
             if not task.done:
                 task.transition(TaskState.CANCELLED, self._loop.now, "cancel_job")
         job.set_state(JobState.CANCELLED, self._loop.now)
+        self._job_trace_ctx.pop(job_id, None)
         self._emit(job_id, "cancelled", "")
 
     def job(self, job_id: str) -> Job:
@@ -303,6 +348,7 @@ class Grm:
             coordinator.member_completed(task_id)
         job.refresh_state(self._loop.now)
         if job.state is JobState.COMPLETED:
+            self._job_trace_ctx.pop(job.job_id, None)
             self._emit(job.job_id, "completed", "")
 
     def task_evicted(
@@ -365,6 +411,15 @@ class Grm:
         self._pending = still_pending
 
     def _schedule_job(self, job: Job) -> bool:
+        tracer = self.tracer
+        if tracer is not None and tracer.active:
+            with tracer.span("grm.schedule_job",
+                             parent=self._job_trace_ctx.get(job.job_id),
+                             component=self.cluster, job_id=job.job_id):
+                return self._schedule_job_impl(job)
+        return self._schedule_job_impl(job)
+
+    def _schedule_job_impl(self, job: Job) -> bool:
         if job.spec.kind == BSP or job.spec.topology is not None:
             return self._schedule_gang(job)
         return self._schedule_independent(job)
@@ -383,9 +438,17 @@ class Grm:
         if reqs.disk_mb > 0:
             parts.append(f"disk_free_mb >= {reqs.disk_mb}")
         constraint = " && ".join(parts)
-        offers = self.trader.query(
-            "node", constraint=constraint, copy_properties=False
-        )
+        tracer = self.tracer
+        if tracer is not None and tracer.active:
+            with tracer.span("trader.query", component=self.cluster,
+                             constraint=constraint):
+                offers = self.trader.query(
+                    "node", constraint=constraint, copy_properties=False
+                )
+        else:
+            offers = self.trader.query(
+                "node", constraint=constraint, copy_properties=False
+            )
         return [
             o["properties"] for o in offers
             if reqs.satisfied_by(o["properties"])
@@ -439,6 +502,22 @@ class Grm:
         rank = spec.preference_rank()
         return sorted(offers, key=rank.score, reverse=True)
 
+    def _rank(self, offers: list, ctx: ScheduleContext,
+              spec: ApplicationSpec) -> list:
+        """Policy ranking + user preference, timed when metrics are bound."""
+        hist = self._rank_hist
+        if hist is None:
+            return self._apply_user_preference(
+                self.policy.order(offers, ctx), spec
+            )
+        started = perf_counter()
+        try:
+            return self._apply_user_preference(
+                self.policy.order(offers, ctx), spec
+            )
+        finally:
+            hist.observe(perf_counter() - started)
+
     def _place_task(
         self,
         job: Job,
@@ -459,9 +538,7 @@ class Grm:
             o for o in self._offers_for(job.spec)
             if o["node"] not in exclude
         ]
-        ordered = self._apply_user_preference(
-            self.policy.order(offers, ctx), job.spec
-        )
+        ordered = self._rank(offers, ctx, job.spec)
         for offer in ordered[: self._max_negotiations]:
             node = offer["node"]
             if self._reserve_on(node, job, task):
@@ -552,9 +629,7 @@ class Grm:
                 return False
             ordered = [offer for group in plan for offer in group]
         else:
-            ordered = self._apply_user_preference(
-                self.policy.order(offers, ctx), job.spec
-            )
+            ordered = self._rank(offers, ctx, job.spec)
         if len(ordered) < len(pending):
             self.stats.gang_failures += 1
             return False

@@ -95,6 +95,16 @@ class Lrm:
 
     # -- wiring ----------------------------------------------------------------
 
+    def to_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Publish this node's counters as registry views (pull-only)."""
+        prefix = prefix if prefix is not None else f"lrm.{self.node}"
+        registry.bind(prefix, self, (
+            "completed_count", "evicted_count", "checkpoints_taken",
+            "refused_reservations", "accepted_reservations",
+            "updates_sent", "sandbox_violations",
+        ))
+        registry.view(f"{prefix}.running_tasks", lambda: len(self._running))
+
     def attach_grm(self, grm_stub, own_ior: str) -> None:
         """Register with the cluster's GRM and begin periodic updates."""
         self._grm = grm_stub

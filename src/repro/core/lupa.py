@@ -80,6 +80,14 @@ class Lupa:
         self.learn_wall_s = 0.0
         self._task = loop.every(sample_interval, self._sample)
 
+    def to_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Publish the analyzer's counters as registry views (pull-only)."""
+        prefix = prefix if prefix is not None else f"lupa.{self.node}"
+        registry.bind(prefix, self, (
+            "samples_taken", "history_days", "full_relearns",
+            "incremental_updates", "learn_wall_s",
+        ))
+
     # -- data collection -----------------------------------------------------
 
     def _sample(self) -> None:

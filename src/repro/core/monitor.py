@@ -111,6 +111,34 @@ class ClusterMonitor:
     def stop(self) -> None:
         self._task.stop()
 
+    # -- observability ---------------------------------------------------------
+
+    def to_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Publish the latest snapshot's fields as registry views.
+
+        Views read :meth:`latest` lazily, so a metrics snapshot always
+        reflects the monitor's most recent sample without extra sampling
+        work on the monitor's own period.  Before the first sample every
+        view reads 0.
+        """
+        prefix = prefix if prefix is not None else \
+            f"monitor.{self._grm.cluster}"
+
+        def field_view(name):
+            def read():
+                snapshot = self.latest()
+                return getattr(snapshot, name) if snapshot is not None else 0
+            return read
+
+        for name in (
+            "nodes", "sharing_nodes", "owner_active_nodes",
+            "cpu_capacity", "cpu_free_for_grid", "cpu_grid_running",
+            "grid_tasks", "pending_tasks",
+            "grid_utilisation", "harvest_ratio",
+        ):
+            registry.view(f"{prefix}.{name}", field_view(name))
+        registry.view(f"{prefix}.samples", lambda: len(self._snapshots))
+
     # -- queries ---------------------------------------------------------------
 
     @property

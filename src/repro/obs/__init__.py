@@ -1,0 +1,50 @@
+"""Observability: metrics registry, span tracer, and exporters.
+
+The always-on layer is the :class:`MetricsRegistry` — counters, gauges,
+and fixed-bucket histograms stamped in simulated time, plus pull-views
+over the components' existing cheap counters.  The opt-in layer is the
+:class:`Tracer`, whose spans follow one submission across LRM, Trader,
+GRM, and reservation hops via ORB-propagated trace context, and export
+to JSONL or Chrome ``trace_event`` JSON.
+
+Neither layer draws randomness, schedules events, or changes the wire
+format when idle, so observability never perturbs a deterministic run.
+"""
+
+from repro.obs.exporters import (
+    TraceFormatError,
+    chrome_trace_events,
+    export_chrome_trace,
+    export_jsonl,
+    export_metrics_json,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BOUNDS_S,
+    MetricsRegistry,
+    SIM_SECONDS_BOUNDS,
+)
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BOUNDS_S",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SIM_SECONDS_BOUNDS",
+    "Span",
+    "Tracer",
+    "TraceFormatError",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "export_jsonl",
+    "export_metrics_json",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+]

@@ -1,0 +1,198 @@
+"""Span tracer: causally-linked operation trees over simulated time.
+
+A :class:`Span` is one timed operation (a GRM schedule pass, a Trader
+query, one ORB invocation); spans nest through a current-span stack, so
+synchronous call chains become parent/child edges without any explicit
+threading of context.  Deferred work (the GRM's schedule pass runs from
+the event loop, not inside the submit call) links back explicitly: the
+producer captures :meth:`Tracer.context` and the consumer passes it as
+``parent=``.  The ORB carries the same ``(trace_id, span_id)`` pair
+across invocations in an optional request-header extension, so one ASCT
+submission yields a single trace through LRM, Trader, GRM, and
+reservation hops.
+
+Timestamps are **simulated time** (the tracer holds the experiment's
+clock); span identity comes from plain counters.  Tracing therefore
+draws no randomness and schedules no events — it can never perturb a
+deterministic run.  Tracing is opt-in: components guard on
+``tracer is not None and tracer.active`` so the disabled path costs one
+attribute check and allocates nothing.
+
+The tracer is single-threaded by design (the simulator is); BSP worker
+threads report through the metrics registry instead.
+"""
+
+import itertools
+from typing import Optional
+
+
+class Span:
+    """One finished (or in-flight) timed operation."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name",
+                 "start", "end", "attrs")
+
+    def __init__(self, trace_id, span_id, parent_id, name, start, attrs):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end = None
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self):
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"id={self.span_id}, parent={self.parent_id}, "
+                f"[{self.start}, {self.end}])")
+
+
+class _SpanContext:
+    """Context manager closing one span; returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._finish(self.span, exc_type, exc)
+        return False
+
+
+class _NullContext:
+    """Shared no-op context for a disabled tracer: zero allocation."""
+
+    __slots__ = ()
+    span = None
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullContext()
+
+
+class Tracer:
+    """Records spans against a clock; bounded, toggleable, exportable."""
+
+    def __init__(self, clock=None, max_spans: int = 1_000_000):
+        self._clock = clock
+        self._max_spans = max_spans
+        self._stack: list[Span] = []
+        self.finished: list[Span] = []
+        self.dropped = 0
+        self._trace_ids = itertools.count()
+        self._span_ids = itertools.count(1)
+        self._active = True
+
+    # -- switching -----------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def enable(self) -> None:
+        self._active = True
+
+    def disable(self) -> None:
+        """Stop recording; open spans still close, new ones are no-ops."""
+        self._active = False
+
+    def clear(self) -> None:
+        self.finished.clear()
+        self.dropped = 0
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock.now if self._clock is not None else 0.0
+
+    def span(self, name: str, parent: Optional[tuple] = None, **attrs):
+        """Open a span; use as ``with tracer.span("grm.schedule"): ...``.
+
+        ``parent`` overrides the implicit current-span parent: a
+        ``(trace_id, span_id)`` pair from :meth:`context` or from the
+        wire.  Without it, the span nests under the current span, or
+        roots a new trace when none is open.
+        """
+        if not self._active:
+            return NULL_SPAN
+        if parent is not None:
+            trace_id, parent_id = parent
+        elif self._stack:
+            top = self._stack[-1]
+            trace_id, parent_id = top.trace_id, top.span_id
+        else:
+            trace_id, parent_id = f"t{next(self._trace_ids)}", None
+        span = Span(trace_id, next(self._span_ids), parent_id, name,
+                    self._now(), attrs)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span, exc_type, exc) -> None:
+        span.end = self._now()
+        if exc_type is not None:
+            span.attrs["error"] = exc_type.__name__
+            if exc is not None and str(exc):
+                span.attrs["error_message"] = str(exc)
+        # Exits run LIFO, but be robust to a leaked inner span.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            self._stack.remove(span)
+        if len(self.finished) < self._max_spans:
+            self.finished.append(span)
+        else:
+            self.dropped += 1
+
+    # -- context propagation -------------------------------------------------
+
+    def context(self) -> Optional[tuple]:
+        """The current ``(trace_id, span_id)``, or None outside any span.
+
+        This is what crosses boundaries: the ORB writes it into the
+        request-header extension, and the GRM stores it per job so the
+        deferred schedule pass can parent back to the submission.
+        """
+        if not self._stack:
+            return None
+        top = self._stack[-1]
+        return (top.trace_id, top.span_id)
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- queries -------------------------------------------------------------
+
+    def trace(self, trace_id: str) -> list:
+        """All finished spans of one trace, in start (then id) order."""
+        spans = [s for s in self.finished if s.trace_id == trace_id]
+        spans.sort(key=lambda s: (s.start, s.span_id))
+        return spans
+
+    def __len__(self) -> int:
+        return len(self.finished)

@@ -42,6 +42,13 @@ _REQUEST_HEADER = Struct(
 _STATUS_OK = 0
 _STATUS_EXCEPTION = 1
 
+#: Reserved object key announcing a trace-context header extension.  A
+#: traced request reads ``[_TRACE_KEY, trace_id, parent_span_id]`` before
+#: the normal ``[key, operation]`` header; servant keys never start with
+#: NUL, so untraced requests are byte-identical to the pre-tracing wire
+#: format and any ORB can parse (and skip) the extension.
+_TRACE_KEY = "\x00trace-ctx"
+
 
 class Stub:
     """Client-side proxy: marshals calls described by an InterfaceDef."""
@@ -121,6 +128,10 @@ class Orb:
         self.requests_handled = 0
         self._client_interceptors: list = []
         self._server_interceptors: list = []
+        #: Optional span tracer (see :mod:`repro.obs.trace`).  None by
+        #: default: the invoke/dispatch hot paths then pay one attribute
+        #: check and allocate nothing.
+        self._tracer = None
         self.credentials = credentials
         self.keyring = keyring
         self.require_auth = require_auth
@@ -194,6 +205,16 @@ class Orb:
         """Observe dispatched requests: called with (key, operation, args)."""
         self._server_interceptors.append(interceptor)
 
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with None) a span tracer to this ORB.
+
+        With an active tracer, every invocation opens a client span and
+        propagates its trace context in the request-header extension;
+        every dispatched request carrying that extension opens a server
+        span parented to the remote caller's span.
+        """
+        self._tracer = tracer
+
     def invoke(
         self,
         ref: ObjectRef,
@@ -207,6 +228,9 @@ class Orb:
         :class:`Stub` caches per operation; without it the header is
         encoded here.
         """
+        tracer = self._tracer
+        if tracer is not None and tracer._active:
+            return self._invoke_traced(ref, operation, args)
         if len(args) != len(operation.params):
             raise TypeError(
                 f"{operation.name}() takes {len(operation.params)} "
@@ -223,10 +247,40 @@ class Orb:
             )
         for param, arg in zip(operation.params, args):
             param.idl_type.encode(enc, arg)
-        payload = enc.getvalue()
+        return self._transmit(ref, operation, enc.getvalue())
+
+    def _invoke_traced(self, ref: ObjectRef, operation: Operation, args: tuple):
+        """Traced invoke: client span + trace-context header extension.
+
+        The stub's cached header cannot be spliced here — its alignment
+        padding assumes offset 0, and the extension shifts it — so the
+        header strings are re-encoded after the context (the server
+        reads plain strings either way).
+        """
+        if len(args) != len(operation.params):
+            raise TypeError(
+                f"{operation.name}() takes {len(operation.params)} "
+                f"arguments ({len(args)} given)"
+            )
+        name = f"{ref.interface}.{operation.name}"
+        with self._tracer.span(name, component=self.name,
+                               kind="client") as span:
+            for interceptor in self._client_interceptors:
+                interceptor(ref, operation, args)
+            enc = CdrEncoder()
+            enc.write_string(_TRACE_KEY)
+            enc.write_string(span.trace_id)
+            enc.write_string(str(span.span_id))
+            enc.write_string(ref.key)
+            enc.write_string(operation.name)
+            for param, arg in zip(operation.params, args):
+                param.idl_type.encode(enc, arg)
+            return self._transmit(ref, operation, enc.getvalue())
+
+    def _transmit(self, ref: ObjectRef, operation: Operation, payload: bytes):
+        """Wrap, route, send one encoded request; unmarshal the reply."""
         if self.credentials is not None:
             payload = self.credentials.wrap(payload)
-
         route = self._route_cache.get(ref.endpoints)
         if route is None:
             route = self._route(ref)
@@ -283,6 +337,13 @@ class Orb:
             # The header is Struct{key: string, operation: string}; read the
             # two strings directly rather than through the Struct plan.
             key = dec.read_string()
+            remote_parent = None
+            if key == _TRACE_KEY:
+                # Trace-context extension: consume it whether or not this
+                # ORB traces, so a traced client can talk to any server.
+                trace_id = dec.read_string()
+                remote_parent = (trace_id, int(dec.read_string()))
+                key = dec.read_string()
             op_name = dec.read_string()
             cached = self._dispatch_cache.get((key, op_name))
             if cached is None:
@@ -295,9 +356,18 @@ class Orb:
                 self._dispatch_cache[(key, op_name)] = cached
             method, operation = cached
             args = [p.idl_type.decode(dec) for p in operation.params]
-            for interceptor in self._server_interceptors:
-                interceptor(key, operation, args)
-            result = method(*args)
+            tracer = self._tracer
+            if (remote_parent is not None and tracer is not None
+                    and tracer._active):
+                with tracer.span(f"{key}.{op_name}", parent=remote_parent,
+                                 component=self.name, kind="server"):
+                    for interceptor in self._server_interceptors:
+                        interceptor(key, operation, args)
+                    result = method(*args)
+            else:
+                for interceptor in self._server_interceptors:
+                    interceptor(key, operation, args)
+                result = method(*args)
             enc.write_octet(_STATUS_OK)
             operation.returns.encode(enc, result)
         except Exception as exc:   # marshalled back to the caller
@@ -325,6 +395,10 @@ class Orb:
                 totals[key] += value
         totals["requests_handled"] = self.requests_handled
         return totals
+
+    def to_metrics(self, registry, prefix: str = None) -> None:
+        """Publish :meth:`stats` as a registry view (evaluated at snapshot)."""
+        registry.view(prefix if prefix else f"orb.{self.name}", self.stats)
 
     def shutdown(self) -> None:
         """Close transports and unregister from the domain."""

@@ -12,6 +12,7 @@ import heapq
 import itertools
 import operator
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Mapping, Optional
 
 from repro.apps.constraints import (
@@ -123,6 +124,22 @@ class TradingService:
         self._indexes: dict[str, dict[str, dict[Any, dict[str, Offer]]]] = {}
         self._ids = itertools.count()
         self._seq = itertools.count()
+        #: Accounting: total queries, and how many took the equality-
+        #: bucket-indexed path vs the full linear scan.  Plain int bumps.
+        self.queries = 0
+        self.indexed_queries = 0
+        self.linear_queries = 0
+        self._query_hist = None   # wall-latency histogram once bound
+
+    def bind_metrics(self, registry, prefix: str = "trader") -> None:
+        """Publish counters as registry views; time queries from now on."""
+        registry.bind(prefix, self,
+                      ("queries", "indexed_queries", "linear_queries",
+                       "offer_count"))
+        from repro.obs.metrics import LATENCY_BOUNDS_S
+        self._query_hist = registry.histogram(
+            f"{prefix}.query_latency_s", LATENCY_BOUNDS_S
+        )
 
     # -- index maintenance ----------------------------------------------------
 
@@ -227,6 +244,30 @@ class TradingService:
         returns property dicts aliasing the live offers — read-only use
         only.
         """
+        self.queries += 1
+        hist = self._query_hist
+        if hist is None:
+            return self._query(
+                service_type, constraint, preference, max_offers,
+                copy_properties,
+            )
+        started = perf_counter()
+        try:
+            return self._query(
+                service_type, constraint, preference, max_offers,
+                copy_properties,
+            )
+        finally:
+            hist.observe(perf_counter() - started)
+
+    def _query(
+        self,
+        service_type: str,
+        constraint: str,
+        preference: str,
+        max_offers: int,
+        copy_properties: bool,
+    ) -> list:
         if max_offers == 0:
             return []
         pool = self._by_type.get(service_type)
@@ -241,14 +282,17 @@ class TradingService:
             index = self._index_for(service_type, attr)
             found = index.get(literal)
             if not found:        # a necessary conjunct no offer satisfies
+                self.indexed_queries += 1
                 return []
             if bucket is None or len(found) < len(bucket):
                 bucket = found
                 bucket_conjunct = (attr, literal)
         if bucket is None:
+            self.linear_queries += 1
             matches_fn = matcher._match_fn
             matched = [o for o in pool.values() if matches_fn(o.properties)]
         else:
+            self.indexed_queries += 1
             # Bucket members satisfy the equality conjunct by construction,
             # so match against the constraint with that conjunct removed.
             matches_fn = compiled_match_without(constraint, *bucket_conjunct)

@@ -13,6 +13,7 @@ for one; the periodic-task fast path never allocates handles at all.
 """
 
 import heapq
+from time import perf_counter
 from typing import Callable, Optional
 
 from repro.sim.clock import SimClock
@@ -52,6 +53,8 @@ class EventLoop:
         self._cancelled: set[int] = set()  # seqs of tombstoned heap entries
         self._seq = 0
         self._events_fired = 0
+        self._events_cancelled = 0
+        self._handler_hist = None   # opt-in wall-time histogram
 
     @property
     def now(self) -> float:
@@ -62,6 +65,11 @@ class EventLoop:
     def events_fired(self) -> int:
         """Total number of events executed so far."""
         return self._events_fired
+
+    @property
+    def events_cancelled(self) -> int:
+        """Total number of events tombstoned so far."""
+        return self._events_cancelled
 
     @property
     def pending(self) -> int:
@@ -85,6 +93,7 @@ class EventLoop:
     def _cancel(self, seq: int) -> None:
         """Tombstone an entry; compact once tombstones dominate the heap."""
         self._cancelled.add(seq)
+        self._events_cancelled += 1
         if len(self._cancelled) * 2 > len(self._heap):
             self._compact()
 
@@ -111,6 +120,31 @@ class EventLoop:
         when = self.clock.now + delay
         return EventHandle(self, when, self._push(when, callback))
 
+    # -- observability ---------------------------------------------------------
+
+    def to_metrics(self, registry, prefix: str = "eventloop") -> None:
+        """Publish the loop's counters as registry views (pull-only).
+
+        Views are evaluated at snapshot time, so the hot path keeps its
+        plain integer bumps and pays nothing for being observable.
+        """
+        registry.view(f"{prefix}.events_fired", lambda: self._events_fired)
+        registry.view(f"{prefix}.events_cancelled",
+                      lambda: self._events_cancelled)
+        registry.view(f"{prefix}.pending",
+                      lambda: len(self._heap) - len(self._cancelled))
+        registry.view(f"{prefix}.raw_heap_size", lambda: len(self._heap))
+        registry.view(f"{prefix}.sim_time", lambda: self.clock.now)
+
+    def time_handlers(self, histogram) -> None:
+        """Opt-in: record each handler's wall time into ``histogram``.
+
+        Switches :meth:`run_until` onto a timed twin of the fast path
+        (two ``perf_counter`` calls per event); pass None to switch back.
+        Timing never touches simulated time, so determinism holds.
+        """
+        self._handler_hist = histogram
+
     # -- running --------------------------------------------------------------
 
     def step(self) -> bool:
@@ -124,7 +158,13 @@ class EventLoop:
                 continue
             self.clock.advance_to(when)
             self._events_fired += 1
-            callback()
+            hist = self._handler_hist
+            if hist is not None:
+                started = perf_counter()
+                callback()
+                hist.observe(perf_counter() - started)
+            else:
+                callback()
             return True
         return False
 
@@ -135,6 +175,8 @@ class EventLoop:
         tombstone set, and clock method are bound once, and each iteration
         pops exactly one tuple without re-entering :meth:`step`.
         """
+        if self._handler_hist is not None:
+            return self._run_until_timed(when)
         heap = self._heap
         cancelled = self._cancelled
         advance = self.clock.advance_to
@@ -151,6 +193,30 @@ class EventLoop:
             advance(entry[0])
             self._events_fired += 1
             entry[2]()
+        if when > self.clock.now:
+            advance(when)
+
+    def _run_until_timed(self, when: float) -> None:
+        """The :meth:`run_until` loop with per-handler wall timing."""
+        heap = self._heap
+        cancelled = self._cancelled
+        advance = self.clock.advance_to
+        pop = heapq.heappop
+        observe = self._handler_hist.observe
+        while heap:
+            entry = heap[0]
+            if entry[0] > when:
+                break
+            pop(heap)
+            seq = entry[1]
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            advance(entry[0])
+            self._events_fired += 1
+            started = perf_counter()
+            entry[2]()
+            observe(perf_counter() - started)
         if when > self.clock.now:
             advance(when)
 

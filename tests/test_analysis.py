@@ -175,6 +175,24 @@ class TestDescribe:
     def test_empty(self):
         assert describe([])["count"] == 0
 
+    def test_p99_and_stddev(self):
+        values = [float(v) for v in range(1, 101)]
+        stats = describe(values)
+        assert stats["p99"] == pytest.approx(percentile(values, 99))
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        assert stats["stddev"] == pytest.approx(variance ** 0.5)
+
+    def test_empty_sample_yields_zero_for_every_statistic(self):
+        stats = describe([])
+        assert stats == {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                         "p50": 0.0, "p95": 0.0, "p99": 0.0, "stddev": 0.0}
+
+    def test_single_value_has_zero_stddev(self):
+        stats = describe([5.0])
+        assert stats["stddev"] == 0.0
+        assert stats["p99"] == 5.0
+
 
 class TestTable:
     def test_render(self):

@@ -107,3 +107,100 @@ def test_interceptors_do_not_alter_results(pair):
     client.add_client_interceptor(lambda *a: None)
     server.add_server_interceptor(lambda *a: None)
     assert stub.echo(42.0) == 42.0
+
+
+def test_client_interceptors_run_before_server_interceptors(pair):
+    server, client = pair
+    ref = server.activate(EchoServant(), ECHO)
+    stub = client.stub(ref, ECHO)
+    order = []
+    client.add_client_interceptor(lambda *a: order.append("client"))
+    server.add_server_interceptor(lambda *a: order.append("server"))
+    stub.echo(1.0)
+    assert order == ["client", "server"]
+
+
+def test_second_client_interceptor_exception_prevents_send(pair):
+    server, client = pair
+    ref = server.activate(EchoServant(), ECHO)
+    stub = client.stub(ref, ECHO)
+    order = []
+    client.add_client_interceptor(lambda *a: order.append("first"))
+
+    def veto(ref, op, args):
+        raise PermissionError("second interceptor vetoes")
+
+    client.add_client_interceptor(veto)
+    with pytest.raises(PermissionError):
+        stub.echo(1.0)
+    # The first interceptor already ran, but nothing reached the server.
+    assert order == ["first"]
+    assert server.stats()["requests_handled"] == 0
+
+
+def test_interceptors_run_on_oneway_calls(pair):
+    server, client = pair
+    servant = EchoServant()
+    ref = server.activate(servant, ECHO)
+    stub = client.stub(ref, ECHO)
+    seen_client, seen_server = [], []
+    client.add_client_interceptor(
+        lambda ref, op, args: seen_client.append(op.name)
+    )
+    server.add_server_interceptor(
+        lambda key, op, args: seen_server.append(op.name)
+    )
+    assert stub.fire(3.0) is None
+    assert seen_client == ["fire"]
+    assert seen_server == ["fire"]
+    assert servant.fired == [3.0]
+
+
+def test_server_interceptor_exception_on_oneway_skips_servant(pair):
+    # A oneway call has no reply channel: the server-side interceptor
+    # exception cannot propagate to the client, but it must still stop
+    # the servant from running (observe-or-veto semantics hold).
+    server, client = pair
+    servant = EchoServant()
+    ref = server.activate(servant, ECHO)
+    stub = client.stub(ref, ECHO)
+    server.add_server_interceptor(
+        lambda key, op, args: (_ for _ in ()).throw(ValueError("denied"))
+    )
+    assert stub.fire(9.0) is None   # client sees nothing
+    assert servant.fired == []      # but the servant never ran
+
+
+def test_server_interceptor_veto_skips_servant(pair):
+    server, client = pair
+    servant = EchoServant()
+    ref = server.activate(servant, ECHO)
+    stub = client.stub(ref, ECHO)
+    calls = []
+    servant.echo = lambda x: calls.append(x) or x
+    server.add_server_interceptor(
+        lambda key, op, args: (_ for _ in ()).throw(ValueError("denied"))
+    )
+    with pytest.raises(RemoteInvocationError):
+        stub.echo(5.0)
+    assert calls == []
+
+
+def test_interceptor_order_identical_on_traced_path(pair):
+    # Switching the ORBs onto the traced invoke path must not change
+    # interceptor ordering or results.
+    from repro.obs.trace import Tracer
+
+    server, client = pair
+    ref = server.activate(EchoServant(), ECHO)
+    stub = client.stub(ref, ECHO)
+    tracer = Tracer()
+    client.set_tracer(tracer)
+    server.set_tracer(tracer)
+    order = []
+    client.add_client_interceptor(lambda *a: order.append("client"))
+    server.add_server_interceptor(lambda *a: order.append("server"))
+    assert stub.echo(6.0) == 6.0
+    assert order == ["client", "server"]
+    names = [span.name for span in tracer.finished]
+    assert names == [f"{ref.key}.echo", "test/Echo.echo"]
