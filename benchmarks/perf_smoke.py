@@ -1,11 +1,13 @@
 """CI perf smoke: remeasure the committed baselines, fail on a cliff.
 
 Remeasures the 32-node S1 simulator throughput, the 1000-offer indexed
-trader query rate, and the 1024-node S2 pattern-aware ranking rate
-(reusing the benchmark modules' own builders, so the measured workload
-cannot drift from what produced the baseline), then compares against
-the committed ``BENCH_S1.json`` / ``BENCH_E11.json`` / ``BENCH_S2.json``.
-A drop of more than ``TOLERANCE`` fails the build.
+trader query rate, the 1024-node S2 pattern-aware ranking rate, and the
+10k-node S3 information-plane run (reusing the benchmark modules' own
+builders, so the measured workload cannot drift from what produced the
+baseline), then compares against the committed ``BENCH_S1.json`` /
+``BENCH_E11.json`` / ``BENCH_S2.json`` / ``BENCH_S3.json``.  A drop of
+more than ``TOLERANCE`` fails the build; S3 additionally enforces the
+absolute headline ratios (>= 5x plane cost, >= 3x bytes on the wire).
 
 The 30 % margin absorbs runner-to-runner noise; the regressions this
 guards against — losing an index, falling off a compiled path, an
@@ -28,6 +30,7 @@ from bench_e11_orb import (          # noqa: E402
     build_trader,
 )
 from bench_s1_simulator_throughput import build, measure_hour  # noqa: E402
+from bench_s3_information_plane import measure_mode  # noqa: E402
 from bench_s2_scheduler_throughput import (  # noqa: E402
     _best_pass_s,
     build_workload,
@@ -123,6 +126,37 @@ def main():
         failures += not check(
             "S2 pattern-aware ranking (1024 nodes)", 1024 / pass_s, baseline
         )
+
+    s3 = load_json("S3")
+    if s3 is None:
+        print("no BENCH_S3.json baseline committed; skipping S3 smoke")
+    else:
+        full = measure_mode(10_000, "full")
+        delta = measure_mode(10_000, "delta")
+        fast = measure_mode(10_000, "delta+fast")
+        baseline = next(
+            row["updates_per_wall_s"] for row in s3["rows"]
+            if row["nodes"] == 10_000 and row["mode"] == "delta+fast"
+        )
+        failures += not check(
+            "S3 delta+fast ingest (10k nodes)",
+            fast["updates_per_wall_s"], baseline,
+        )
+        # Absolute headline gates, not baseline-relative: the scaled
+        # information plane must stay >= 5x cheaper end to end and the
+        # delta wire format >= 3x smaller than full snapshots.
+        cost_ratio = full["plane_cost_s"] / fast["plane_cost_s"]
+        ok = cost_ratio >= 5.0
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"S3 plane-cost reduction (10k nodes): "
+              f"{cost_ratio:.1f}x (floor 5.0x) -> {verdict}")
+        failures += not ok
+        bytes_ratio = full["wire_bytes"] / delta["wire_bytes"]
+        ok = bytes_ratio >= 3.0
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"S3 bytes-on-wire reduction (10k nodes): "
+              f"{bytes_ratio:.1f}x (floor 3.0x) -> {verdict}")
+        failures += not ok
 
     plain_rate, metered_rate = measure_metrics_overhead()
     ratio = metered_rate / plain_rate if plain_rate else 0.0

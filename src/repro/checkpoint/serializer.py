@@ -45,27 +45,42 @@ def serialize(state: dict) -> bytes:
 
 
 def deserialize(data: bytes) -> dict:
-    """Decode and validate checkpoint bytes; raises CheckpointCorrupted."""
+    """Decode and validate checkpoint bytes; raises CheckpointCorrupted.
+
+    Validation is header-first: the declared payload length must account
+    for *exactly* the bytes between the header and the CRC — a truncated
+    file, a length field that disagrees with the payload, and garbage
+    appended after the CRC are all rejected before (and regardless of)
+    the CRC check, so a forged trailer cannot smuggle extra bytes past a
+    recomputed checksum.  The payload decode must also consume every
+    declared byte.
+    """
     if len(data) < _HEADER.size + _CRC.size:
         raise CheckpointCorrupted("checkpoint shorter than its envelope")
-    body, crc_bytes = data[:-_CRC.size], data[-_CRC.size:]
-    (expected_crc,) = _CRC.unpack(crc_bytes)
-    if zlib.crc32(body) != expected_crc:
-        raise CheckpointCorrupted("CRC mismatch")
-    magic, version, length = _HEADER.unpack_from(body)
+    magic, version, length = _HEADER.unpack_from(data)
     if magic != MAGIC:
         raise CheckpointCorrupted(f"bad magic {magic!r}")
     if version != VERSION:
         raise CheckpointCorrupted(f"unsupported checkpoint version {version}")
-    payload = body[_HEADER.size:]
-    if len(payload) != length:
+    expected_size = _HEADER.size + length + _CRC.size
+    if len(data) != expected_size:
         raise CheckpointCorrupted(
-            f"payload length {len(payload)} != declared {length}"
+            f"checkpoint is {len(data)} bytes but the declared payload "
+            f"length {length} requires exactly {expected_size}"
         )
+    body = data[:-_CRC.size]
+    (expected_crc,) = _CRC.unpack_from(data, len(body))
+    if zlib.crc32(body) != expected_crc:
+        raise CheckpointCorrupted("CRC mismatch")
+    dec = CdrDecoder(data[_HEADER.size:len(body)])
     try:
-        state = VARIANT.decode(CdrDecoder(payload))
+        state = VARIANT.decode(dec)
     except MarshalError as exc:
         raise CheckpointCorrupted(f"payload undecodable: {exc}") from exc
+    if dec.remaining:
+        raise CheckpointCorrupted(
+            f"{dec.remaining} undecoded bytes inside the declared payload"
+        )
     if not isinstance(state, dict):
         raise CheckpointCorrupted("checkpoint payload is not a state dict")
     return state

@@ -95,6 +95,12 @@ class Grid:
         holidays: Optional[set] = None,
         programs=None,
         auth_secret: Optional[bytes] = None,
+        delta_updates: bool = False,
+        full_refresh_every: int = 10,
+        update_epsilon: float = 0.0,
+        max_update_interval: Optional[float] = None,
+        batched_ingest: bool = False,
+        fast_local: bool = False,
     ):
         self.loop = EventLoop()
         self.streams = SeededStreams(seed)
@@ -110,6 +116,15 @@ class Grid:
         self.lupa_upload_interval = lupa_upload_interval
         self.lupa_relearn_interval = lupa_relearn_interval
         self.holidays = holidays if holidays is not None else set()
+        #: Information-plane scaling knobs (all off by default: the seed
+        #: wire format, event schedule, and trader behaviour are kept
+        #: bit-identical unless explicitly opted in).
+        self.delta_updates = delta_updates
+        self.full_refresh_every = full_refresh_every
+        self.update_epsilon = update_epsilon
+        self.max_update_interval = max_update_interval
+        self.batched_ingest = batched_ingest
+        self.fast_local = fast_local
         from repro.apps.registry import DEFAULT_REGISTRY
         self.programs = programs if programs is not None else DEFAULT_REGISTRY
         # Optional cluster-membership authentication: with a secret set,
@@ -138,6 +153,7 @@ class Grid:
             credentials=self._credentials,
             keyring=self._keyring,
             require_auth=self._keyring is not None,
+            fast_local=self.fast_local,
         )
         self._orbs.append(orb)
         if self.tracer is not None:
@@ -145,6 +161,20 @@ class Grid:
         if self.metrics is not None:
             orb.to_metrics(self.metrics)
         return orb
+
+    def _slowest_healthy_interval(self) -> float:
+        """What the GRM should treat as one healthy update interval.
+
+        With adaptive throttling a quiet node legitimately stretches its
+        cadence up to ``max_update_interval``; sizing the staleness
+        window off the base interval would declare every throttled node
+        dead.  Liveness detection therefore keys off the slowest cadence
+        a healthy node may adopt — the price of throttling is slower
+        crash detection, never false deaths.
+        """
+        if self.delta_updates and self.max_update_interval is not None:
+            return max(self.update_interval, self.max_update_interval)
+        return self.update_interval
 
     # -- assembly -------------------------------------------------------------------
 
@@ -184,7 +214,8 @@ class Grid:
             network=network,
             checkpoint_store=store,
             schedule_interval=self.schedule_interval,
-            update_interval_hint=self.update_interval,
+            update_interval_hint=self._slowest_healthy_interval(),
+            batched_ingest=self.batched_ingest,
         )
         naming = NamingService()
         grm_ior = orb.activate(grm, GRM_INTERFACE, key=f"{name}/grm").to_string()
@@ -239,6 +270,10 @@ class Grid:
             checkpoint_store=handle.checkpoint_store,
             update_interval=self.update_interval,
             tick_interval=self.tick_interval,
+            delta_updates=self.delta_updates,
+            full_refresh_every=self.full_refresh_every,
+            update_epsilon=self.update_epsilon,
+            max_update_interval=self.max_update_interval,
         )
         lrm_ref = orb.activate(lrm, LRM_INTERFACE, key=f"{name}/lrm")
         grm_stub = orb.stub(handle.grm_ior, GRM_INTERFACE)
@@ -312,6 +347,10 @@ class Grid:
             checkpoint_store=handle.checkpoint_store,
             update_interval=self.update_interval,
             tick_interval=self.tick_interval,
+            delta_updates=self.delta_updates,
+            full_refresh_every=self.full_refresh_every,
+            update_epsilon=self.update_epsilon,
+            max_update_interval=self.max_update_interval,
         )
         lrm_ref = orb.activate(lrm, LRM_INTERFACE, key=f"{name}/lrm")
         grm_stub = orb.stub(handle.grm_ior, GRM_INTERFACE)
@@ -480,9 +519,25 @@ class Grid:
         for field_name in ("completed_count", "evicted_count",
                            "checkpoints_taken", "refused_reservations",
                            "accepted_reservations", "updates_sent",
+                           "updates_full", "updates_delta",
+                           "updates_suppressed", "updates_bytes_saved",
                            "sandbox_violations"):
             registry.view(
                 f"lrm.total.{field_name}",
+                lambda f=field_name: sum(
+                    getattr(n.lrm, f)
+                    for h in self.clusters.values()
+                    for n in h.nodes.values()
+                ),
+            )
+        # Information-plane counters under their protocol-level names.
+        for name, field_name in (
+            ("lrm.updates.delta", "updates_delta"),
+            ("lrm.updates.suppressed", "updates_suppressed"),
+            ("lrm.updates.bytes_saved", "updates_bytes_saved"),
+        ):
+            registry.view(
+                name,
                 lambda f=field_name: sum(
                     getattr(n.lrm, f)
                     for h in self.clusters.values()

@@ -11,6 +11,7 @@ negotiation with the selected nodes" (Section 4).
 import itertools
 from collections import deque
 from dataclasses import dataclass, field, fields
+from heapq import heappop, heappush
 from time import perf_counter
 from typing import Callable, Optional
 
@@ -25,6 +26,7 @@ from repro.core.scheduler import (
     SchedulingPolicy,
     plan_virtual_topology,
 )
+from repro.core.update_protocol import apply_delta
 from repro.orb.core import Orb
 from repro.orb.exceptions import OrbError
 from repro.orb.trading import TradingService
@@ -61,6 +63,8 @@ class GrmStats:
     """
 
     updates_received: int = 0
+    deltas_received: int = 0
+    ingest_flushes: int = 0
     negotiation_rounds: int = 0
     reservations_refused: int = 0
     placements: int = 0
@@ -93,6 +97,7 @@ class Grm:
         reservation_lease: float = DEFAULT_RESERVATION_LEASE,
         max_negotiations: int = DEFAULT_MAX_NEGOTIATIONS,
         update_interval_hint: float = 60.0,
+        batched_ingest: bool = False,
     ):
         self._loop = loop
         self._orb = orb
@@ -106,9 +111,19 @@ class Grm:
         #: Optional observability hooks; None keeps the seed hot paths.
         self.tracer = None
         self._rank_hist = None
+        self._ingest_hist = None
         self._job_trace_ctx: dict[str, tuple] = {}
 
         self._nodes: dict[str, NodeRecord] = {}
+        #: Batched ingestion: updates mark their node dirty here and the
+        #: Trader is brought up to date in one pass before the next query.
+        self._batched_ingest = batched_ingest
+        self._dirty: dict[str, NodeRecord] = {}
+        #: Staleness sweep state: (expiry, seq, record) entries, one live
+        #: entry per record, re-armed lazily as sweeps find fresh nodes.
+        #: The seq breaks expiry ties (records are not comparable).
+        self._expiry_heap: list[tuple] = []
+        self._expiry_seq = itertools.count()
         self._jobs: dict[str, Job] = {}
         self._tasks: dict[str, tuple] = {}     # task_id -> (job, task)
         self._pending: deque = deque()
@@ -143,6 +158,10 @@ class Grm:
         self._rank_hist = registry.histogram(
             f"{prefix}.rank_latency_s", LATENCY_BOUNDS_S
         )
+        self._ingest_hist = registry.histogram(
+            f"{prefix}.ingest_latency_s", LATENCY_BOUNDS_S
+        )
+        registry.view(f"{prefix}.dirty_nodes", lambda: len(self._dirty))
 
     def set_tracer(self, tracer) -> None:
         """Attach the grid's span tracer (schedule/trader/placement spans)."""
@@ -186,41 +205,125 @@ class Grm:
             self.unregister_node(node)
         stub = self._orb.stub(lrm_ior, LRM_INTERFACE)
         offer_id = self.trader.export("node", lrm_ior, status)
-        self._nodes[node] = NodeRecord(
+        record = NodeRecord(
             node, lrm_ior, stub, offer_id, status, self._loop.now
+        )
+        self._nodes[node] = record
+        heappush(
+            self._expiry_heap,
+            (record.last_seen + self._stale_after,
+             next(self._expiry_seq), record),
         )
 
     def unregister_node(self, node: str) -> None:
         record = self._nodes.pop(node, None)
         if record is None:
             return
+        self._dirty.pop(node, None)
         try:
             self.trader.withdraw(record.offer_id)
         except Exception:
             pass
 
     def send_update(self, status: dict) -> None:
+        hist = self._ingest_hist
+        if hist is None:
+            return self._ingest_full(status)
+        started = perf_counter()
+        try:
+            self._ingest_full(status)
+        finally:
+            hist.observe(perf_counter() - started)
+
+    def send_delta(self, node: str, delta: dict) -> None:
+        hist = self._ingest_hist
+        if hist is None:
+            return self._ingest_delta(node, delta)
+        started = perf_counter()
+        try:
+            self._ingest_delta(node, delta)
+        finally:
+            hist.observe(perf_counter() - started)
+
+    def _ingest_full(self, status: dict) -> None:
         record = self._nodes.get(status["node"])
         if record is None:
             return   # update from an unregistered node: drop, it must re-register
         record.last_status = status
         record.last_seen = self._loop.now
         record.alive = True
-        # The decoded update dict is never touched again: let the trader
-        # adopt it instead of copying (it also backs last_status, read-only).
-        self.trader.modify(record.offer_id, status, copy=False)
+        if self._batched_ingest:
+            self._dirty[record.node] = record
+        else:
+            # The decoded update dict is never touched again: let the trader
+            # adopt it instead of copying (it also backs last_status, read-only).
+            self.trader.modify(record.offer_id, status, copy=False)
         self.stats.updates_received += 1
 
+    def _ingest_delta(self, node: str, delta: dict) -> None:
+        record = self._nodes.get(node)
+        if record is None:
+            return   # delta for an unregistered node: drop, it must re-register
+        record.last_status = apply_delta(record.last_status, delta)
+        record.last_seen = self._loop.now
+        record.alive = True
+        if self._batched_ingest:
+            self._dirty[node] = record
+        else:
+            # Only the changed fields touch the Trader's indexes.
+            self.trader.patch(record.offer_id, delta)
+        self.stats.updates_received += 1
+        self.stats.deltas_received += 1
+
+    def flush_updates(self) -> None:
+        """Bring the Trader up to date with every dirty node (batched mode).
+
+        Coalesces however many updates arrived since the last query into
+        one ``modify`` per node; the flushed state is each record's
+        current ``last_status``, which already folds in any deltas.
+        """
+        dirty = self._dirty
+        if not dirty:
+            return
+        self.trader.modify_many(
+            ((record.offer_id, record.last_status)
+             for record in dirty.values()),
+            copy=False,
+        )
+        dirty.clear()
+        self.stats.ingest_flushes += 1
+
     def _check_liveness(self) -> None:
+        """Scheduled staleness sweep over the expiry heap.
+
+        Pops only entries whose armed expiry has passed; nodes that kept
+        updating are re-armed at their real expiry.  The liveness verdict
+        (``now - last_seen > stale_after``) and the order deaths are
+        declared in (registration order, via ``_nodes``) are bit-identical
+        to the previous full-scan implementation.
+        """
         now = self._loop.now
-        for record in list(self._nodes.values()):
-            if not record.alive:
-                continue
-            if now - record.last_seen > self._stale_after:
+        heap = self._expiry_heap
+        stale_after = self._stale_after
+        nodes = self._nodes
+        dead: set = set()
+        while heap and heap[0][0] < now:
+            _expiry, _seq, record = heappop(heap)
+            node = record.node
+            if nodes.get(node) is not record or not record.alive:
+                continue   # withdrawn, replaced, or already declared dead
+            expiry = record.last_seen + stale_after
+            if expiry < now:
+                dead.add(node)
+            else:
+                heappush(heap, (expiry, next(self._expiry_seq), record))
+        if dead:
+            for record in [r for r in list(nodes.values()) if r.node in dead]:
                 self._declare_dead(record)
 
     def _declare_dead(self, record: NodeRecord) -> None:
         record.alive = False
+        self._dirty.pop(record.node, None)
         self.stats.nodes_declared_dead += 1
         try:
             self.trader.withdraw(record.offer_id)
@@ -425,6 +528,8 @@ class Grm:
         return self._schedule_independent(job)
 
     def _offers_for(self, spec: ApplicationSpec) -> list:
+        if self._dirty:
+            self.flush_updates()
         reqs = spec.requirements
         parts = [
             "sharing == true",

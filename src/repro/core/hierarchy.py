@@ -164,6 +164,9 @@ class ParentGrm:
     def send_update(self, status) -> None:
         pass
 
+    def send_delta(self, node, delta) -> None:
+        pass
+
     def register_asct(self, job_id, asct_ior) -> None:
         pass
 

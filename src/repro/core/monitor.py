@@ -138,6 +138,21 @@ class ClusterMonitor:
         ):
             registry.view(f"{prefix}.{name}", field_view(name))
         registry.view(f"{prefix}.samples", lambda: len(self._snapshots))
+        # Freshness of the GRM's information-plane view.  With adaptive
+        # update throttling enabled this is the staleness actually paid
+        # for the bytes saved; with fixed-cadence updates it hovers at
+        # about half the update interval.
+        registry.view(f"{prefix}.status_age_mean_s", self.status_age_mean)
+
+    def status_age_mean(self) -> float:
+        """Mean seconds since each live node's last accepted update."""
+        now = self._loop.now
+        ages = [
+            now - record.last_seen
+            for record in self._grm._nodes.values()
+            if record.alive
+        ]
+        return sum(ages) / len(ages) if ages else 0.0
 
     # -- queries ---------------------------------------------------------------
 

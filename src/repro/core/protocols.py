@@ -145,6 +145,16 @@ GRM_INTERFACE = InterfaceDef(
             "send_update", (Parameter("status", NODE_STATUS),), Void,
             oneway=True,
         ),
+        # Delta-compressed form of the Information Update Protocol: only
+        # the fields that changed since the node's last accepted update
+        # (plus "time") travel.  The delta's keys vary per message, so it
+        # rides as a VARIANT rather than a fixed NODE_STATUS struct.
+        Operation(
+            "send_delta",
+            (Parameter("node", String), Parameter("delta", VARIANT)),
+            Void,
+            oneway=True,
+        ),
         Operation("submit", (Parameter("spec", VARIANT),), String),
         Operation(
             "register_asct",

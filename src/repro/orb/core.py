@@ -107,6 +107,7 @@ class Orb:
         credentials=None,
         keyring=None,
         require_auth: bool = False,
+        fast_local: bool = False,
     ):
         if require_auth and keyring is None:
             raise ValueError("require_auth needs a keyring to verify against")
@@ -137,6 +138,13 @@ class Orb:
         self.require_auth = require_auth
         #: Principal of the request currently being dispatched (if any).
         self.current_principal: Optional[str] = None
+        #: Opt-in zero-marshal dispatch between co-located ORBs that have
+        #: *both* enabled it.  Off (the default) leaves every path —
+        #: including the wire bytes — exactly as before.
+        self.fast_local = fast_local
+        #: Requests this ORB dispatched without touching CDR (diagnostic;
+        #: deliberately not part of :meth:`stats`, whose key set is fixed).
+        self.fast_local_calls = 0
 
     # -- servant side ---------------------------------------------------------
 
@@ -236,6 +244,12 @@ class Orb:
                 f"{operation.name}() takes {len(operation.params)} "
                 f"arguments ({len(args)} given)"
             )
+        if self.fast_local:
+            target = self._fast_target(ref)
+            if target is not None:
+                for interceptor in self._client_interceptors:
+                    interceptor(ref, operation, args)
+                return target.handle_request_direct(ref.key, operation, args)
         for interceptor in self._client_interceptors:
             interceptor(ref, operation, args)
         enc = CdrEncoder()
@@ -296,6 +310,26 @@ class Orb:
         exc_type = dec.read_string()
         message = dec.read_string()
         raise RemoteInvocationError(exc_type, message)
+
+    def _fast_target(self, ref: ObjectRef):
+        """The peer ORB to dispatch to directly, or None to marshal.
+
+        Eligibility is re-checked per call (one dict lookup) rather than
+        cached: a shut-down peer drops out of the domain, so the call
+        falls through to the marshalled path and fails with the same
+        CommunicationError it always did.  Security short-circuits are
+        conservative — any credentials on this side or auth requirement
+        on the target keep the call on the enveloped wire path.
+        """
+        if self.credentials is not None:
+            return None
+        inproc = ref.endpoint_of_kind(INPROC)
+        if inproc is None:
+            return None
+        target = self._inproc.peer(inproc[1])
+        if target is None or not target.fast_local or target.require_auth:
+            return None
+        return target
 
     def _route(self, ref: ObjectRef):
         """Pick a transport shared with the servant (in-proc preferred)."""
@@ -376,6 +410,47 @@ class Orb:
             enc.write_string(type(exc).__name__)
             enc.write_string(str(exc))
         return enc.getvalue()
+
+    def handle_request_direct(self, key: str, operation: Operation, args: tuple):
+        """Dispatch one co-located request without touching CDR.
+
+        Observable behaviour mirrors :meth:`handle_request_bytes` +
+        :meth:`_transmit` exactly: server interceptors see the argument
+        list, servant exceptions surface as
+        :class:`RemoteInvocationError` carrying the exception's type name
+        and message, and oneway operations swallow both result and
+        exceptions.  What is *not* replayed is the marshalling itself, so
+        arguments and results cross by reference — callers must follow
+        the same ownership discipline the wire's fresh-decode gave for
+        free (the grid components already do: status dicts are handed
+        over, never retained).
+        """
+        self.requests_handled += 1
+        self.fast_local_calls += 1
+        try:
+            self.current_principal = None
+            cached = self._dispatch_cache.get((key, operation.name))
+            if cached is None:
+                entry = self._servants.get(key)
+                if entry is None:
+                    raise ObjectNotFound(f"no servant with key {key!r}")
+                servant, interface = entry
+                bound_op = interface.operation(operation.name)
+                cached = (getattr(servant, bound_op.name), bound_op)
+                self._dispatch_cache[(key, operation.name)] = cached
+            method, bound_op = cached
+            arg_list = list(args)
+            for interceptor in self._server_interceptors:
+                interceptor(key, bound_op, arg_list)
+            result = method(*arg_list)
+        except Exception as exc:
+            # The marshalled path encodes any servant-side exception and
+            # the client re-raises it as RemoteInvocationError — or drops
+            # it entirely for oneway calls.  Replicate both.
+            if operation.oneway:
+                return None
+            raise RemoteInvocationError(type(exc).__name__, str(exc)) from exc
+        return None if operation.oneway else result
 
     # -- lifecycle / metrics ------------------------------------------------------
 

@@ -79,6 +79,16 @@ class InProcTransport:
     def address(self) -> str:
         return self.orb_name
 
+    def peer(self, address: str):
+        """The co-located ORB behind ``address``, or None.
+
+        Routing hook for the ORB's opt-in zero-marshal fast path: the
+        lookup goes through the transport (like :meth:`invoke` routing)
+        but the dispatch bypasses framing and CDR entirely, so nothing
+        is counted here — fast-path calls put no bytes on the wire.
+        """
+        return self.domain.lookup(address)
+
     def invoke(self, address: str, payload: bytes, oneway: bool) -> Optional[bytes]:
         target = self.domain.lookup(address)
         if target is None:

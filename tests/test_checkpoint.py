@@ -50,6 +50,65 @@ class TestSerializer:
         # Byte-identical output enables cross-node content comparison.
         assert serialize({"a": 1, "b": 2.0}) == serialize({"a": 1, "b": 2.0})
 
+    # -- corruption matrix: every way the envelope can lie ------------------
+
+    def test_truncated_header(self):
+        data = serialize({"x": 1})
+        for cut in range(12):   # shorter than magic+version+length
+            with pytest.raises(CheckpointCorrupted):
+                deserialize(data[:cut])
+
+    def test_truncated_payload(self):
+        data = serialize({"x": 1, "y": [1, 2, 3]})
+        with pytest.raises(CheckpointCorrupted):
+            deserialize(data[:-6])   # loses CRC tail and payload bytes
+
+    def test_declared_length_mismatch(self):
+        import struct
+        import zlib
+        data = bytearray(serialize({"x": 1}))
+        # Rewrite the length field to claim one byte fewer, then re-seal
+        # the CRC so only the length lie can trip validation.
+        magic, version, length = struct.unpack_from("<4sHxxI", data)
+        struct.pack_into("<I", data, 8, length - 1)
+        body = bytes(data[:-4])
+        data[-4:] = struct.pack("<I", zlib.crc32(body))
+        with pytest.raises(CheckpointCorrupted) as excinfo:
+            deserialize(bytes(data))
+        assert "declared" in str(excinfo.value)
+
+    def test_appended_bytes_after_crc(self):
+        data = serialize({"x": 1})
+        with pytest.raises(CheckpointCorrupted):
+            deserialize(data + b"\x00")
+        with pytest.raises(CheckpointCorrupted):
+            deserialize(data + b"trailing garbage")
+
+    def test_appended_bytes_with_resealed_crc(self):
+        # An attacker recomputing the CRC over body+garbage still fails:
+        # the declared length no longer matches the actual payload span.
+        import struct
+        import zlib
+        data = serialize({"x": 1})
+        body = data[:-4] + b"\xde\xad"
+        forged = body + struct.pack("<I", zlib.crc32(body))
+        with pytest.raises(CheckpointCorrupted):
+            deserialize(forged)
+
+    def test_payload_with_undecoded_tail_rejected(self):
+        # Grow the declared payload to cover extra in-payload bytes and
+        # re-seal the CRC: the VARIANT decode must consume every byte.
+        import struct
+        import zlib
+        data = serialize({"x": 1})
+        payload = data[12:-4] + b"\x00\x00\x00\x00"
+        header = struct.pack("<4sHxxI", b"IGCP", 1, len(payload))
+        body = header + payload
+        forged = body + struct.pack("<I", zlib.crc32(body))
+        with pytest.raises(CheckpointCorrupted) as excinfo:
+            deserialize(forged)
+        assert "undecoded" in str(excinfo.value)
+
 
 class TestMemoryStore:
     def test_save_and_load(self):

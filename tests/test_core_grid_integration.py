@@ -342,3 +342,53 @@ class TestProtocolAccounting:
             return grid.protocol_stats()["requests_handled"] - before
 
         assert traffic(30.0) > 1.5 * traffic(120.0)
+
+
+class TestScaledInformationPlane:
+    """The scaling flags (deltas, throttling, batching, fast path) are
+    opt-in and must leave a working grid behind when enabled together."""
+
+    def scaled_grid(self, nodes=3, **kwargs):
+        return dedicated_grid(
+            nodes=nodes, delta_updates=True, full_refresh_every=5,
+            max_update_interval=480.0, batched_ingest=True,
+            fast_local=True, **kwargs,
+        )
+
+    def test_jobs_complete_with_everything_enabled(self):
+        grid = self.scaled_grid()
+        job_id = grid.submit(ApplicationSpec(name="t", work_mips=1e6))
+        assert grid.wait_for_job(job_id, max_seconds=SECONDS_PER_HOUR)
+        assert grid.job(job_id).state == JobState.COMPLETED
+
+    def test_grm_view_tracks_node_status(self):
+        grid = self.scaled_grid()
+        grid.run_for(SECONDS_PER_HOUR)
+        grm = grid.clusters["c0"].grm
+        for node, handle in grid.clusters["c0"].nodes.items():
+            stored = dict(grm._nodes[node].last_status)
+            expected = handle.lrm.status()
+            # The LRM clock moved on since the last (possibly throttled)
+            # send; every non-volatile field must match exactly.
+            stored.pop("time"), expected.pop("time")
+            assert stored == expected
+
+    def test_information_plane_counters_exposed(self):
+        grid = self.scaled_grid()
+        registry = grid.enable_metrics()
+        grid.run_for(SECONDS_PER_HOUR)
+        metrics = registry.snapshot()["metrics"]
+        assert metrics["lrm.updates.suppressed"] > 0
+        assert metrics["lrm.updates.bytes_saved"] > 0
+        assert metrics["lrm.updates.delta"] >= 0
+        ingest = metrics["grm.c0.ingest_latency_s"]
+        assert ingest["count"] > 0
+
+    def test_fast_path_carries_the_update_traffic(self):
+        grid = self.scaled_grid()
+        before = grid.clusters["c0"].orb.fast_local_calls
+        grid.run_for(SECONDS_PER_HOUR)
+        assert grid.clusters["c0"].orb.fast_local_calls > before
+        # Updates bypass the wire entirely; only non-co-located traffic
+        # (none in a single-process cluster) would add bytes.
+        assert grid.protocol_stats()["requests_handled"] > 0

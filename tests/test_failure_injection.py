@@ -147,6 +147,9 @@ class _NullGrm:
     def send_update(self, status):
         pass
 
+    def send_delta(self, node, delta):
+        pass
+
     def submit(self, spec):
         return "job0"
 
