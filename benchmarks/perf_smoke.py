@@ -1,13 +1,16 @@
 """CI perf smoke: remeasure the committed baselines, fail on a cliff.
 
 Remeasures the 32-node S1 simulator throughput, the 1000-offer indexed
-trader query rate, the 1024-node S2 pattern-aware ranking rate, and the
-10k-node S3 information-plane run (reusing the benchmark modules' own
-builders, so the measured workload cannot drift from what produced the
-baseline), then compares against the committed ``BENCH_S1.json`` /
-``BENCH_E11.json`` / ``BENCH_S2.json`` / ``BENCH_S3.json``.  A drop of
-more than ``TOLERANCE`` fails the build; S3 additionally enforces the
-absolute headline ratios (>= 5x plane cost, >= 3x bytes on the wire).
+trader query rate, the 1024-node S2 pattern-aware ranking rate, the
+10k-node S3 information-plane run, and the 1024-process S4
+execution-plane run (reusing the benchmark modules' own builders, so
+the measured workload cannot drift from what produced the baseline),
+then compares against the committed ``BENCH_S1.json`` /
+``BENCH_E11.json`` / ``BENCH_S2.json`` / ``BENCH_S3.json`` /
+``BENCH_S4.json``.  A drop of more than ``TOLERANCE`` fails the build;
+S3 and S4 additionally enforce absolute headline ratios (>= 5x plane
+cost and >= 3x bytes on the wire for S3; >= 3x checkpoint bytes down
+and exactly O(peers) ORB calls for S4).
 
 The 30 % margin absorbs runner-to-runner noise; the regressions this
 guards against — losing an index, falling off a compiled path, an
@@ -31,6 +34,13 @@ from bench_e11_orb import (          # noqa: E402
 )
 from bench_s1_simulator_throughput import build, measure_hour  # noqa: E402
 from bench_s3_information_plane import measure_mode  # noqa: E402
+from bench_s4_execution_plane import (  # noqa: E402
+    DEGREE,
+    MSGS_PER_PEER,
+    SUPERSTEPS,
+    drive_comm,
+    measure_checkpoint_plane,
+)
 from bench_s2_scheduler_throughput import (  # noqa: E402
     _best_pass_s,
     build_workload,
@@ -156,6 +166,39 @@ def main():
         verdict = "ok" if ok else "REGRESSION"
         print(f"S3 bytes-on-wire reduction (10k nodes): "
               f"{bytes_ratio:.1f}x (floor 3.0x) -> {verdict}")
+        failures += not ok
+
+    s4 = load_json("S4")
+    if s4 is None:
+        print("no BENCH_S4.json baseline committed; skipping S4 smoke")
+    else:
+        full = measure_checkpoint_plane(1024, 0.10, "full")
+        chunked = measure_checkpoint_plane(1024, 0.10, "chunked")
+        baseline = next(
+            row["saves_per_wall_s"] for row in s4["checkpoint_rows"]
+            if row["nprocs"] == 1024 and row["mutation_rate"] == 0.10
+            and row["mode"] == "chunked"
+        )
+        failures += not check(
+            "S4 chunked checkpoint saves (1024 procs, 10% mutation)",
+            chunked["saves_per_wall_s"], baseline,
+        )
+        # Absolute headline gates: incremental checkpointing must keep
+        # cutting bytes >= 3x at 1024 processes / 10% mutation, and
+        # combining must hold ORB calls at exactly O(peers).
+        bytes_ratio = full["bytes_written"] / chunked["bytes_written"]
+        ok = bytes_ratio >= 3.0
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"S4 checkpoint-bytes reduction (1024 procs, 10% mutation): "
+              f"{bytes_ratio:.1f}x (floor 3.0x) -> {verdict}")
+        failures += not ok
+        comb = drive_comm(1024, combining=True)
+        expected_calls = SUPERSTEPS * 1024 * DEGREE
+        ok = comb["orb_calls"] == expected_calls
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"S4 combining ORB calls (1024 procs): "
+              f"{comb['orb_calls']:,} (expected exactly {expected_calls:,}, "
+              f"= {MSGS_PER_PEER}x fewer than per-message) -> {verdict}")
         failures += not ok
 
     plain_rate, metered_rate = measure_metrics_overhead()

@@ -60,7 +60,7 @@ class BspContext:
 
     def get(self, owner: int, name: str) -> Any:
         """Read ``owner``'s variable as of the last synchronisation."""
-        return self._registers.get(owner, name)
+        return self._registers.get(owner, name, reader=self.pid)
 
     def put(self, owner: int, name: str, value: Any) -> None:
         """Write ``owner``'s variable, effective at the next sync."""

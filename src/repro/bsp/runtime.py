@@ -37,6 +37,13 @@ class BspRun:
     messages_sent: int
     comm_bytes: int
     puts_applied: int
+    #: ORB invocations the BSMP plane issued (one per message without
+    #: combining; one per communicating pair per superstep with it).
+    orb_calls: int = 0
+    #: DRMA ORB invocations (one per put/get, or per pair when batched).
+    drma_calls: int = 0
+    #: Modelled wire bytes including per-call framing overhead.
+    wire_bytes: int = 0
 
 
 @dataclass
@@ -56,6 +63,7 @@ def run_bsp(
     *args,
     sync_timeout: float = DEFAULT_SYNC_TIMEOUT,
     metrics=None,
+    combining: bool = False,
 ) -> BspRun:
     """Execute ``fn(bsp, *args)`` on ``nprocs`` BSP processes.
 
@@ -68,6 +76,12 @@ def run_bsp(
     recorded into a ``bsp.barrier_wait_s`` histogram (the BSP cost
     model's ``l`` term, measured).  Observations are GIL-serialised
     plain attribute bumps, so concurrent waits are safe to record.
+
+    ``combining=True`` turns on batched superstep communication:
+    per-peer BSMP message combining and per-pair DRMA batching (see
+    :mod:`repro.bsp.messages` / :mod:`repro.bsp.drma`).  Results and
+    delivery order are identical; only the ORB call / wire accounting
+    in the returned :class:`BspRun` changes.
     """
     if nprocs <= 0:
         raise ValueError(f"nprocs must be positive, got {nprocs}")
@@ -76,8 +90,8 @@ def run_bsp(
         from repro.obs.metrics import LATENCY_BOUNDS_S
         barrier_hist = metrics.histogram("bsp.barrier_wait_s",
                                          LATENCY_BOUNDS_S)
-    buffers = MessageBuffers(nprocs)
-    registers = Registers(nprocs)
+    buffers = MessageBuffers(nprocs, combining=combining)
+    registers = Registers(nprocs, batched=combining)
     state = _SharedState(nprocs, buffers, registers)
 
     def on_barrier():
@@ -165,4 +179,7 @@ def run_bsp(
         messages_sent=buffers.messages_sent,
         comm_bytes=buffers.bytes_estimate,
         puts_applied=registers.puts_applied,
+        orb_calls=buffers.orb_calls,
+        drma_calls=registers.drma_calls,
+        wire_bytes=buffers.wire_bytes,
     )

@@ -1,0 +1,310 @@
+"""Incremental, content-addressed checkpoint chains.
+
+The seed checkpoint plane re-stores a task's *entire* serialized state
+on every save — cost linear in state size regardless of how little
+changed between supersteps.  This module adds the delta layer:
+
+* serialized state is split into fixed-size chunks, each keyed by its
+  content digest (:func:`~repro.checkpoint.serializer.chunk_digest`);
+* chunks live in a shared, content-addressed :class:`ChunkPool` —
+  identical chunks from *any* task or replica are stored once
+  (cross-task dedup);
+* each save produces a **manifest**: a ``full`` record lists every
+  chunk, a ``delta`` record references its base record and lists only
+  the chunk slots that changed;
+* every ``rebase_every`` saves an unconditional **full rebase** starts a
+  fresh chain, bounding how many deltas a restore must walk (the same
+  drop-resync bound the information plane's ``full_refresh_every``
+  provides) — and because the pool is content-addressed, a rebase
+  materializes almost no new bytes;
+* restore re-derives the chunk list by walking the chain full → deltas,
+  validating every base link and every chunk's digest, and reassembles
+  the original serialized bytes **bit-identically** — the result passes
+  the exact same envelope validation as a full snapshot.
+
+Stores (:mod:`repro.checkpoint.store`) opt into this engine with
+``chunked=True``; nothing here runs unless they do.
+"""
+
+from typing import Optional
+
+from repro.checkpoint.serializer import (
+    DEFAULT_CHUNK_SIZE,
+    chunk_digest,
+    split_chunks,
+)
+
+#: Unconditional full rebase after this many records in a chain
+#: (1 full + rebase_every-1 deltas); bounds restore-chain length.
+DEFAULT_REBASE_EVERY = 8
+
+FULL = "full"
+DELTA = "delta"
+
+
+class ChunkedChainError(Exception):
+    """The delta chain cannot be restored (missing base, chunk, or slot)."""
+
+
+class ChunkPool:
+    """In-memory content-addressed chunk storage shared across tasks."""
+
+    def __init__(self):
+        self._chunks: dict[bytes, bytes] = {}
+
+    def has(self, digest: bytes) -> bool:
+        return digest in self._chunks
+
+    def put(self, digest: bytes, chunk: bytes) -> None:
+        self._chunks[digest] = chunk
+
+    def get(self, digest: bytes) -> bytes:
+        chunk = self._chunks.get(digest)
+        if chunk is None:
+            raise ChunkedChainError(
+                f"chunk {digest.hex()} is not in the pool"
+            )
+        return chunk
+
+    def delete(self, digest: bytes) -> None:
+        self._chunks.pop(digest, None)
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def bytes_stored(self) -> int:
+        return sum(len(c) for c in self._chunks.values())
+
+
+class ChunkedRepository:
+    """Delta chains + refcounted chunk pool behind a checkpoint store.
+
+    One repository serves every task of a store, so replicas saving
+    identical state share chunk storage.  A record is a plain dict
+    (``sequence``, ``time``, ``kind``, ``base``, ``nchunks``,
+    ``length``, ``changed``) so file-backed stores can persist chains
+    with the ordinary checkpoint serializer.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[ChunkPool] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        rebase_every: int = DEFAULT_REBASE_EVERY,
+    ):
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if rebase_every < 1:
+            raise ValueError("rebase_every must be >= 1")
+        self.pool = pool if pool is not None else ChunkPool()
+        self.chunk_size = chunk_size
+        self.rebase_every = rebase_every
+        self._chains: dict[str, list[dict]] = {}
+        #: Per task, the resolved digest list of each chain record —
+        #: kept for O(1) delta encoding and exact refcount release.
+        self._resolved: dict[str, list] = {}
+        self._refs: dict[bytes, int] = {}
+        self.full_saves = 0
+        self.delta_saves = 0
+        self.rebases = 0
+        self.chunks_written = 0
+        self.chunks_deduped = 0
+        self.chunk_bytes_written = 0
+
+    # -- saving ---------------------------------------------------------------
+
+    def save(self, task_id: str, data: bytes, sequence: int,
+             now: float) -> dict:
+        """Store one checkpoint; returns its manifest record.
+
+        Only chunks whose digest is new to the pool are materialized.
+        The record is a full rebase when the task has no chain yet or
+        the chain has reached ``rebase_every`` records.
+        """
+        chunks = split_chunks(data, self.chunk_size)
+        digests = [chunk_digest(c) for c in chunks]
+        chain = self._chains.get(task_id)
+        rebase = chain is not None and len(chain) >= self.rebase_every
+        if chain is None or rebase:
+            kind, base = FULL, -1
+            changed = list(enumerate(digests))
+        else:
+            prev = self._resolved[task_id][-1]
+            kind, base = DELTA, chain[-1]["sequence"]
+            changed = [
+                (i, d) for i, d in enumerate(digests)
+                if i >= len(prev) or prev[i] != d
+            ]
+        for i, digest in changed:
+            if self.pool.has(digest):
+                self.chunks_deduped += 1
+            else:
+                self.pool.put(digest, chunks[i])
+                self.chunks_written += 1
+                self.chunk_bytes_written += len(chunks[i])
+        record = {
+            "sequence": sequence,
+            "time": now,
+            "kind": kind,
+            "base": base,
+            "nchunks": len(chunks),
+            "length": len(data),
+            "changed": [[i, d] for i, d in changed],
+        }
+        for digest in digests:
+            self._refs[digest] = self._refs.get(digest, 0) + 1
+        if kind == FULL:
+            self.full_saves += 1
+            if rebase:
+                self.rebases += 1
+                self._drop_records(task_id, len(chain))
+            self._chains[task_id] = [record]
+            self._resolved[task_id] = [digests]
+        else:
+            self.delta_saves += 1
+            chain.append(record)
+            self._resolved[task_id].append(digests)
+        return record
+
+    def _drop_records(self, task_id: str, count: int) -> None:
+        """Release the first ``count`` records of a task's chain."""
+        resolved = self._resolved[task_id]
+        for digests in resolved[:count]:
+            for digest in digests:
+                remaining = self._refs.get(digest, 0) - 1
+                if remaining <= 0:
+                    self._refs.pop(digest, None)
+                    self.pool.delete(digest)
+                else:
+                    self._refs[digest] = remaining
+        del self._chains[task_id][:count]
+        del resolved[:count]
+
+    def adopt_chain(self, task_id: str, records: list) -> None:
+        """Install a persisted chain (file store reload), re-deriving the
+        per-record resolved digest lists and pool refcounts."""
+        if not records:
+            return
+        resolved: list = []
+        digests: list = []
+        for record in records:
+            digests = self._apply_record(task_id, record, digests)
+            resolved.append(list(digests))
+        self._chains[task_id] = list(records)
+        self._resolved[task_id] = resolved
+        for record_digests in resolved:
+            for digest in record_digests:
+                self._refs[digest] = self._refs.get(digest, 0) + 1
+
+    # -- restoring ------------------------------------------------------------
+
+    def latest(self, task_id: str) -> Optional[dict]:
+        chain = self._chains.get(task_id)
+        return chain[-1] if chain else None
+
+    def resolve_digests(self, task_id: str) -> list:
+        """Walk the chain full → deltas; the latest record's chunk list.
+
+        Raises :class:`ChunkedChainError` if the chain does not start
+        with a full record, a delta references a base that is not its
+        predecessor (missing base), or any chunk slot is left unfilled.
+        """
+        chain = self._chains.get(task_id)
+        if not chain:
+            raise ChunkedChainError(f"no checkpoint chain for {task_id!r}")
+        digests: list = []
+        prev_sequence = None
+        for record in chain:
+            if prev_sequence is not None and record["kind"] == DELTA \
+                    and record["base"] != prev_sequence:
+                raise ChunkedChainError(
+                    f"{task_id}: delta {record['sequence']} references "
+                    f"base {record['base']} but the chain holds "
+                    f"{prev_sequence} (missing base)"
+                )
+            digests = self._apply_record(task_id, record, digests)
+            prev_sequence = record["sequence"]
+        return digests
+
+    def _apply_record(self, task_id: str, record: dict,
+                      digests: list) -> list:
+        if record["kind"] == FULL:
+            digests = [None] * record["nchunks"]
+        elif record["kind"] == DELTA:
+            if not digests:
+                raise ChunkedChainError(
+                    f"{task_id}: chain starts with a delta — its full "
+                    f"base record is missing"
+                )
+            nchunks = record["nchunks"]
+            if nchunks <= len(digests):
+                digests = digests[:nchunks]
+            else:
+                digests = digests + [None] * (nchunks - len(digests))
+        else:
+            raise ChunkedChainError(
+                f"{task_id}: unknown record kind {record['kind']!r}"
+            )
+        for index, digest in record["changed"]:
+            if not 0 <= index < record["nchunks"]:
+                raise ChunkedChainError(
+                    f"{task_id}: chunk index {index} outside the "
+                    f"record's {record['nchunks']} chunks"
+                )
+            digests[index] = digest
+        if any(d is None for d in digests):
+            raise ChunkedChainError(
+                f"{task_id}: record {record['sequence']} leaves chunk "
+                f"slots unresolved"
+            )
+        return digests
+
+    def resolve_bytes(self, task_id: str) -> bytes:
+        """Reassemble the latest checkpoint's serialized bytes.
+
+        Every chunk is re-verified against its content digest, so a
+        corrupted pool entry is caught here even before the envelope's
+        CRC check runs.
+        """
+        digests = self.resolve_digests(task_id)
+        parts = []
+        for digest in digests:
+            chunk = self.pool.get(digest)
+            if chunk_digest(chunk) != digest:
+                raise ChunkedChainError(
+                    f"{task_id}: chunk {digest.hex()} content does not "
+                    f"match its digest"
+                )
+            parts.append(chunk)
+        data = b"".join(parts)
+        expected = self._chains[task_id][-1]["length"]
+        if len(data) != expected:
+            raise ChunkedChainError(
+                f"{task_id}: reassembled {len(data)} bytes but the "
+                f"manifest declares {expected}"
+            )
+        return data
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def discard(self, task_id: str) -> None:
+        chain = self._chains.get(task_id)
+        if chain is None:
+            return
+        self._drop_records(task_id, len(chain))
+        self._chains.pop(task_id, None)
+        self._resolved.pop(task_id, None)
+
+    def chain(self, task_id: str) -> list:
+        """The task's current chain records (oldest first)."""
+        return list(self._chains.get(task_id, ()))
+
+    @property
+    def task_ids(self) -> list:
+        return sorted(self._chains)
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        total = self.chunks_written + self.chunks_deduped
+        return self.chunks_deduped / total if total else 0.0

@@ -52,6 +52,20 @@ class RecoveryManager:
         consistent = self.consistent_superstep()
         return 0 if consistent is None else consistent
 
+    def stragglers(self) -> list:
+        """Members holding the consistent cut back.
+
+        A straggler is any member whose newest checkpoint is older than
+        the most advanced member's newest checkpoint — including members
+        that have not checkpointed at all.  Sorted by member name.
+        """
+        newest = {
+            m: (h[-1] if h else -1)
+            for m, h in self._checkpoints.items()
+        }
+        frontier = max(newest.values())
+        return sorted(m for m, s in newest.items() if s < frontier)
+
     def prune_before(self, superstep: int) -> None:
         """Drop checkpoint records older than ``superstep`` (GC)."""
         for member in self.members:

@@ -101,6 +101,10 @@ class Grid:
         max_update_interval: Optional[float] = None,
         batched_ingest: bool = False,
         fast_local: bool = False,
+        chunked_checkpoints: bool = False,
+        checkpoint_chunk_size: Optional[int] = None,
+        checkpoint_rebase_every: Optional[int] = None,
+        skip_unchanged_checkpoints: bool = False,
     ):
         self.loop = EventLoop()
         self.streams = SeededStreams(seed)
@@ -125,6 +129,21 @@ class Grid:
         self.max_update_interval = max_update_interval
         self.batched_ingest = batched_ingest
         self.fast_local = fast_local
+        #: Execution-plane scaling knobs (also off by default): chunked
+        #: content-addressed checkpoint storage per cluster repository
+        #: and digest-skip of unchanged per-node checkpoint saves.
+        from repro.checkpoint.chunking import DEFAULT_REBASE_EVERY
+        from repro.checkpoint.serializer import DEFAULT_CHUNK_SIZE
+        self.chunked_checkpoints = chunked_checkpoints
+        self.checkpoint_chunk_size = (
+            checkpoint_chunk_size if checkpoint_chunk_size is not None
+            else DEFAULT_CHUNK_SIZE
+        )
+        self.checkpoint_rebase_every = (
+            checkpoint_rebase_every if checkpoint_rebase_every is not None
+            else DEFAULT_REBASE_EVERY
+        )
+        self.skip_unchanged_checkpoints = skip_unchanged_checkpoints
         from repro.apps.registry import DEFAULT_REGISTRY
         self.programs = programs if programs is not None else DEFAULT_REGISTRY
         # Optional cluster-membership authentication: with a secret set,
@@ -204,7 +223,12 @@ class Grid:
             network.add_segment(f"{name}-lan", bandwidth_mbps=100.0)
         orb = self._make_orb(f"{name}-manager")
         gupa = Gupa()
-        store = MemoryCheckpointStore()
+        store = MemoryCheckpointStore(
+            chunked=self.chunked_checkpoints,
+            chunk_size=self.checkpoint_chunk_size,
+            rebase_every=self.checkpoint_rebase_every,
+            skip_unchanged=self.skip_unchanged_checkpoints,
+        )
         grm = Grm(
             self.loop,
             orb,
@@ -230,6 +254,7 @@ class Grid:
         self.clusters[name] = handle
         if self.metrics is not None:
             grm.bind_metrics(self.metrics)
+            store.to_metrics(self.metrics, prefix=f"checkpoint.{name}")
         if self.tracer is not None:
             grm.set_tracer(self.tracer)
         return handle
@@ -274,6 +299,7 @@ class Grid:
             full_refresh_every=self.full_refresh_every,
             update_epsilon=self.update_epsilon,
             max_update_interval=self.max_update_interval,
+            skip_unchanged_checkpoints=self.skip_unchanged_checkpoints,
         )
         lrm_ref = orb.activate(lrm, LRM_INTERFACE, key=f"{name}/lrm")
         grm_stub = orb.stub(handle.grm_ior, GRM_INTERFACE)
@@ -351,6 +377,7 @@ class Grid:
             full_refresh_every=self.full_refresh_every,
             update_epsilon=self.update_epsilon,
             max_update_interval=self.max_update_interval,
+            skip_unchanged_checkpoints=self.skip_unchanged_checkpoints,
         )
         lrm_ref = orb.activate(lrm, LRM_INTERFACE, key=f"{name}/lrm")
         grm_stub = orb.stub(handle.grm_ior, GRM_INTERFACE)
@@ -514,10 +541,14 @@ class Grid:
             orb.to_metrics(registry)
         for handle in self.clusters.values():
             handle.grm.bind_metrics(registry)
+            handle.checkpoint_store.to_metrics(
+                registry, prefix=f"checkpoint.{handle.name}"
+            )
             for node in handle.nodes.values():
                 self._bind_node_metrics(node)
         for field_name in ("completed_count", "evicted_count",
-                           "checkpoints_taken", "refused_reservations",
+                           "checkpoints_taken", "checkpoints_skipped",
+                           "refused_reservations",
                            "accepted_reservations", "updates_sent",
                            "updates_full", "updates_delta",
                            "updates_suppressed", "updates_bytes_saved",

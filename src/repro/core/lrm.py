@@ -77,6 +77,7 @@ class Lrm:
         full_refresh_every: int = DEFAULT_FULL_REFRESH_EVERY,
         update_epsilon: float = 0.0,
         max_update_interval: Optional[float] = None,
+        skip_unchanged_checkpoints: bool = False,
     ):
         self._loop = loop
         self._workstation = workstation
@@ -93,9 +94,11 @@ class Lrm:
         self._grm = None           # stub once attached
         self.ior: Optional[str] = None
 
+        self.skip_unchanged_checkpoints = skip_unchanged_checkpoints
         self.completed_count = 0
         self.evicted_count = 0
         self.checkpoints_taken = 0
+        self.checkpoints_skipped = 0
         self.refused_reservations = 0
         self.accepted_reservations = 0
         self.updates_sent = 0
@@ -128,6 +131,7 @@ class Lrm:
         prefix = prefix if prefix is not None else f"lrm.{self.node}"
         registry.bind(prefix, self, (
             "completed_count", "evicted_count", "checkpoints_taken",
+            "checkpoints_skipped",
             "refused_reservations", "accepted_reservations",
             "updates_sent", "updates_full", "updates_delta",
             "updates_suppressed", "updates_bytes_saved",
@@ -409,6 +413,15 @@ class Lrm:
                     self._grm.task_reached_limit(self.node, task_id)
 
     def _checkpoint(self, record: RunningTask, now: float) -> None:
+        if self.skip_unchanged_checkpoints \
+                and record.progress_mips == record.checkpoint_progress:
+            # The task made no progress since the last save (suspended
+            # while the owner uses the machine): the stored checkpoint
+            # is already current, so skip the serialize-and-store cycle
+            # but keep the cadence armed.
+            record.next_checkpoint_at = now + record.checkpoint_interval_s
+            self.checkpoints_skipped += 1
+            return
         self.store.save(
             record.task_id,
             {"progress_mips": record.progress_mips, "job_id": record.job_id},

@@ -1,5 +1,7 @@
 """Unit tests for portable checkpointing and rollback recovery."""
 
+import os
+
 import pytest
 
 from repro.checkpoint.recovery import RecoveryManager
@@ -195,6 +197,44 @@ class TestFileStore:
         assert len(files) == 1
         assert files[0].parent == tmp_path
 
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = FileCheckpointStore(str(tmp_path))
+        for i in range(3):
+            store.save("t1", {"p": i}, float(i))
+        assert not [p for p in tmp_path.iterdir()
+                    if p.name.endswith(".tmp")]
+
+    def test_skip_unchanged_write(self, tmp_path):
+        store = FileCheckpointStore(str(tmp_path))
+        first = store.save("t1", {"p": 1}, 1.0)
+        mtime = os.path.getmtime(store._path("t1"))
+        again = store.save("t1", {"p": 1}, 2.0)
+        # Identical state digest: no new file write, previous record back.
+        assert store.skipped_saves == 1
+        assert store.saves == 1
+        assert again.sequence == first.sequence
+        assert os.path.getmtime(store._path("t1")) == mtime
+        changed = store.save("t1", {"p": 2}, 3.0)
+        assert changed.sequence == first.sequence + 1
+        assert store.load_latest("t1").state()["p"] == 2
+
+    def test_skip_unchanged_can_be_disabled(self, tmp_path):
+        store = FileCheckpointStore(str(tmp_path), skip_unchanged=False)
+        store.save("t1", {"p": 1}, 1.0)
+        repeat = store.save("t1", {"p": 1}, 2.0)
+        assert store.skipped_saves == 0
+        assert repeat.sequence == 2
+
+    def test_skip_digest_cache_is_per_instance(self, tmp_path):
+        # A fresh store has no digest cache: its first save of the same
+        # state must still be written, not spuriously "skipped".
+        FileCheckpointStore(str(tmp_path)).save("t1", {"p": 1}, 1.0)
+        fresh = FileCheckpointStore(str(tmp_path))
+        record = fresh.save("t1", {"p": 1}, 2.0)
+        assert fresh.skipped_saves == 0
+        assert record.time == 2.0
+        assert fresh.load_latest("t1").state()["p"] == 1
+
 
 class TestRecoveryManager:
     def test_no_checkpoints_means_scratch(self):
@@ -245,3 +285,62 @@ class TestRecoveryManager:
     def test_needs_members(self):
         with pytest.raises(ValueError):
             RecoveryManager("j", [])
+
+    def test_duplicate_record_rejected_without_corrupting_state(self):
+        recovery = RecoveryManager("j", ["a", "b"])
+        recovery.record_checkpoint("a", 2)
+        recovery.record_checkpoint("b", 2)
+        # A duplicate (re-delivered notification) is rejected...
+        with pytest.raises(ValueError):
+            recovery.record_checkpoint("a", 2)
+        # ...and the consistent cut is unaffected by the attempt.
+        assert recovery.consistent_superstep() == 2
+        recovery.record_checkpoint("a", 4)
+        recovery.record_checkpoint("b", 4)
+        assert recovery.consistent_superstep() == 4
+
+    def test_regressing_superstep_rejected(self):
+        recovery = RecoveryManager("j", ["a"])
+        recovery.record_checkpoint("a", 4)
+        with pytest.raises(ValueError):
+            recovery.record_checkpoint("a", 2)
+
+    def test_stragglers(self):
+        recovery = RecoveryManager("j", ["a", "b", "c"])
+        # Nobody has checkpointed: nobody is behind anybody.
+        assert recovery.stragglers() == []
+        recovery.record_checkpoint("a", 2)
+        recovery.record_checkpoint("b", 2)
+        # c never saved anything; it (alone) holds the cut back.
+        assert recovery.stragglers() == ["c"]
+        recovery.record_checkpoint("a", 4)
+        assert recovery.stragglers() == ["b", "c"]
+        recovery.record_checkpoint("b", 4)
+        recovery.record_checkpoint("c", 4)
+        assert recovery.stragglers() == []
+        assert recovery.consistent_superstep() == 4
+
+    def test_prune_around_consistent_cut(self):
+        recovery = RecoveryManager("j", ["a", "b"])
+        for superstep in (2, 4, 6):
+            recovery.record_checkpoint("a", superstep)
+        for superstep in (2, 4):
+            recovery.record_checkpoint("b", superstep)
+        cut = recovery.consistent_superstep()
+        assert cut == 4
+        # Pruning strictly below the cut must not move it...
+        recovery.prune_before(cut)
+        assert recovery.consistent_superstep() == 4
+        assert recovery.rollback_point() == 4
+        # ...while pruning past it drops the only common superstep: the
+        # job can then only restart from scratch.
+        recovery.prune_before(cut + 1)
+        assert recovery.consistent_superstep() is None
+        assert recovery.rollback_point() == 0
+
+    def test_rollback_point_counts_rollbacks(self):
+        recovery = RecoveryManager("j", ["a"])
+        recovery.record_checkpoint("a", 2)
+        assert recovery.rollback_point() == 2
+        assert recovery.rollback_point() == 2
+        assert recovery.rollbacks == 2
