@@ -57,6 +57,11 @@ TOLERANCE = 0.30
 #: catches someone accidentally putting allocation or formatting onto
 #: the hot path.
 METRICS_TOLERANCE = 0.05
+#: The event journal with all emitters live must also cost no more than
+#: this fraction of S1 throughput.  Journal records are a handful of
+#: attribute stores behind one guard check; the gate catches anyone
+#: putting per-event formatting or unbounded growth onto the hot path.
+JOURNAL_TOLERANCE = 0.05
 
 
 def measure_metrics_overhead(nodes=32, best_of=3):
@@ -86,6 +91,34 @@ def measure_metrics_overhead(nodes=32, best_of=3):
     # The registry really was live the whole time.
     assert registry.snapshot()["metrics"]["eventloop.events_fired"] > 0
     return best["plain"], best["metered"]
+
+
+def measure_journal_overhead(nodes=32, best_of=3):
+    """Best events/s for one simulated hour: plain vs journal enabled.
+
+    Interleaved rounds, same protocol as :func:`measure_metrics_overhead`
+    — machine drift biases both configurations equally.
+    """
+    import time
+
+    from repro.sim.clock import SECONDS_PER_HOUR
+
+    plain = build(nodes)
+    journalled = build(nodes)
+    journal = journalled.enable_journal()
+    assert journalled.metrics is None, "metrics must stay opt-in"
+    best = {"plain": 0.0, "journalled": 0.0}
+    for _ in range(best_of):
+        for label, grid in (("plain", plain), ("journalled", journalled)):
+            before = grid.loop.events_fired
+            start = time.perf_counter()
+            grid.run_for(SECONDS_PER_HOUR)
+            elapsed = time.perf_counter() - start
+            rate = (grid.loop.events_fired - before) / elapsed
+            best[label] = max(best[label], rate)
+    # The journal really was live (node registrations at minimum).
+    assert journal.recorded > 0
+    return best["plain"], best["journalled"]
 
 
 def check(name, measured, baseline):
@@ -208,6 +241,15 @@ def main():
     print(f"S1 metrics overhead (32 nodes): plain {plain_rate:,.0f}/s, "
           f"metrics-on {metered_rate:,.0f}/s, ratio {ratio:.3f} "
           f"(floor {1.0 - METRICS_TOLERANCE:.2f}) -> {verdict}")
+    failures += not ok
+
+    plain_rate, journal_rate = measure_journal_overhead()
+    ratio = journal_rate / plain_rate if plain_rate else 0.0
+    ok = ratio >= 1.0 - JOURNAL_TOLERANCE
+    verdict = "ok" if ok else "REGRESSION"
+    print(f"S1 journal overhead (32 nodes): plain {plain_rate:,.0f}/s, "
+          f"journal-on {journal_rate:,.0f}/s, ratio {ratio:.3f} "
+          f"(floor {1.0 - JOURNAL_TOLERANCE:.2f}) -> {verdict}")
     failures += not ok
 
     return 1 if failures else 0

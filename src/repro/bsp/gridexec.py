@@ -87,6 +87,12 @@ class BspGridCoordinator:
         self._pending_ckpts: list = []     # in-flight checkpoint events
         self.executed_results: Optional[list] = None
         self.executed_run = None
+        #: Optional event journal (wired by Grid.enable_journal).
+        self.journal = None
+
+    def set_journal(self, journal) -> None:
+        """Attach the grid's event journal (superstep/rollback events)."""
+        self.journal = journal
 
     # -- GRM callbacks ------------------------------------------------------------
 
@@ -124,6 +130,15 @@ class BspGridCoordinator:
             if self.checkpoint_every > 0 else 0
         rollback_superstep = min(rollback_superstep, self.current_superstep)
         target_progress = rollback_superstep * self.work_per_superstep
+        journal = self.journal
+        if journal is not None and journal.active:
+            journal.record(
+                "checkpoint_restored", node=node,
+                job_id=self.job.job_id, task_id=task_id,
+                superstep=rollback_superstep,
+                from_superstep=self.current_superstep,
+                survivors=len(self._nodes),
+            )
         self.current_superstep = rollback_superstep
         self._reached.clear()
         # Roll surviving members back and re-arm the barrier, accounting
@@ -339,6 +354,13 @@ class BspGridCoordinator:
         self._advance_event = None
         finished = self.current_superstep + 1
         self.current_superstep = finished
+        journal = self.journal
+        if journal is not None and journal.active:
+            journal.record(
+                "bsp_superstep", job_id=self.job.job_id,
+                superstep=finished, supersteps=self.supersteps,
+                members=len(self._nodes),
+            )
         due = (
             self.checkpoint_every > 0
             and finished % self.checkpoint_every == 0
@@ -404,6 +426,13 @@ class BspGridCoordinator:
             except ValueError:
                 pass   # re-checkpoint after rollback to the same superstep
         self.checkpoints_saved += 1
+        journal = self.journal
+        if journal is not None and journal.active:
+            journal.record(
+                "checkpoint_saved", job_id=self.job.job_id,
+                superstep=superstep,
+                members=len(self.recovery.members) - len(self._completed),
+            )
 
     # -- monitoring --------------------------------------------------------------------
 

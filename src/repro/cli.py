@@ -5,6 +5,8 @@ Commands:
 * ``demo`` — assemble a small cluster, run a job, print the story.
 * ``simulate`` — parameterised desktop-grid simulation with a summary
   report (nodes, profiles, policy, workload, duration).
+* ``doctor`` — offline postmortem from an exported event journal:
+  failure chains, recovery outcomes, alert firings.
 * ``profiles`` — list the built-in owner-activity profiles.
 * ``policies`` — list the scheduling policies.
 """
@@ -78,6 +80,26 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--metrics-json", default=None, metavar="PATH",
                           help="enable the metrics registry and write its "
                                "final snapshot as JSON")
+    simulate.add_argument("--journal", default=None, metavar="PATH",
+                          help="record the structured event journal and "
+                               "write it as JSONL")
+    simulate.add_argument("--health-report", default=None, metavar="PATH",
+                          help="enable journal+metrics and write the final "
+                               "health report (forensics + alerts) as JSON")
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="postmortem from an exported event journal (offline)",
+    )
+    doctor.add_argument("journal", metavar="JOURNAL",
+                        help="journal JSONL file (from simulate --journal)")
+    doctor.add_argument("--metrics", default=None, metavar="FILE",
+                        help="metrics snapshot JSON to evaluate alert "
+                             "rules against (from simulate --metrics-json)")
+    doctor.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the full report as JSON")
+    doctor.add_argument("--top", type=int, default=5,
+                        help="alert firings to list (default 5)")
     return parser
 
 
@@ -161,10 +183,13 @@ def cmd_simulate(args) -> int:
     tracer = None
     if args.trace or args.trace_jsonl:
         tracer = grid.enable_tracing()
-    if args.metrics_json:
+    if args.metrics_json or args.health_report:
         grid.enable_metrics()
         if monitor is not None:
             monitor.to_metrics(grid.metrics)
+    journal = None
+    if args.journal or args.health_report:
+        journal = grid.enable_journal()
 
     print(f"{args.nodes} x {args.profile} workstations"
           + (f" + {args.dedicated} dedicated" if args.dedicated else "")
@@ -235,6 +260,59 @@ def cmd_simulate(args) -> int:
         from repro.obs import export_metrics_json
         export_metrics_json(grid.metrics, args.metrics_json)
         print(f"Metrics snapshot -> {args.metrics_json}")
+    if journal is not None and args.journal:
+        from repro.obs import export_journal_jsonl
+        count = export_journal_jsonl(journal.events, args.journal)
+        print(f"Event journal ({count} events) -> {args.journal}")
+    if args.health_report:
+        import json as _json
+
+        from repro.obs import render_health_report
+        report = grid.health_report()
+        with open(args.health_report, "w") as f:
+            _json.dump(report, f, indent=2, sort_keys=True)
+        print(f"Health report -> {args.health_report}")
+        print(render_health_report(report))
+    return 0
+
+
+def cmd_doctor(args) -> int:
+    import json
+
+    from repro.obs import (
+        doctor_report,
+        load_journal_jsonl,
+        render_health_report,
+        validate_journal,
+    )
+
+    events = load_journal_jsonl(args.journal)
+    validate_journal(events)
+    metrics = None
+    rules = None
+    if args.metrics:
+        with open(args.metrics) as f:
+            snapshot = json.load(f)
+        metrics = snapshot.get("metrics", snapshot)
+        # Shape the stock rule set from the metric names themselves so
+        # offline reports cover the same clusters/jobs as live ones.
+        from repro.obs import default_rules
+        clusters = sorted({
+            name.split(".", 2)[1] for name in metrics
+            if name.startswith("grm.") and name.count(".") >= 2
+        })
+        bsp_jobs = sorted({
+            name.split(".", 2)[1] for name in metrics
+            if name.startswith("bsp.") and name.endswith(".stragglers")
+        })
+        rules = default_rules(clusters=clusters, bsp_jobs=bsp_jobs)
+    report = doctor_report(events, metrics=metrics, rules=rules,
+                           top=args.top)
+    print(render_health_report(report))
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+        print(f"Report JSON -> {args.json}")
     return 0
 
 
@@ -305,6 +383,8 @@ def main(argv=None) -> int:
         return cmd_demo()
     if args.command == "simulate":
         return cmd_simulate(args)
+    if args.command == "doctor":
+        return cmd_doctor(args)
     if args.command == "report":
         return cmd_report(args)
     return 2   # unreachable: argparse enforces the choices

@@ -159,9 +159,11 @@ class Grid:
             self._credentials = Credentials("integrade", auth_secret)
         self._coordinators: dict[str, object] = {}
         self._job_cluster: dict[str, str] = {}
-        #: Observability: None until enable_metrics()/enable_tracing().
+        #: Observability: None until enable_metrics()/enable_tracing()/
+        #: enable_journal().
         self.metrics = None
         self.tracer = None
+        self.journal = None
         self._orbs: list[Orb] = []
 
     def _make_orb(self, name: str) -> Orb:
@@ -337,6 +339,7 @@ class Grid:
         )
         handle.nodes[name] = node
         self._bind_node_metrics(node)
+        self._bind_node_journal(node)
         return node
 
     def add_trace_node(
@@ -414,6 +417,7 @@ class Grid:
         )
         handle.nodes[name] = node
         self._bind_node_metrics(node)
+        self._bind_node_journal(node)
         return node
 
     def remove_node(self, cluster: str, name: str) -> None:
@@ -427,7 +431,16 @@ class Grid:
         node = handle.nodes.pop(name, None)
         if node is None:
             raise KeyError(f"no node {name!r} in cluster {cluster!r}")
-        node.lrm.detach()
+        journal = self.journal
+        down = None
+        if journal is not None and journal.active:
+            down = journal.record("node_down", node=name, reason="removed")
+        # Evictions triggered by the detach are caused by this departure.
+        handle.grm._evict_cause = down.seq if down is not None else None
+        try:
+            node.lrm.detach()
+        finally:
+            handle.grm._evict_cause = None
         if node.lupa is not None:
             node.lupa.stop()
         node.workstation.stop()
@@ -483,6 +496,13 @@ class Grid:
             )
             handle.grm.register_coordinator(job_id, coordinator)
             self._coordinators[job_id] = coordinator
+            if self.journal is not None:
+                coordinator.set_journal(self.journal)
+            if self.metrics is not None:
+                self.metrics.view(
+                    f"bsp.{job_id}.stragglers",
+                    lambda c=coordinator: len(c.recovery.stragglers()),
+                )
         return job_id
 
     def coordinator(self, job_id: str):
@@ -575,6 +595,16 @@ class Grid:
                     for n in h.nodes.values()
                 ),
             )
+        # Late-binding observability layers publish their own health views.
+        if self.journal is not None:
+            self.journal.to_metrics(registry)
+        if self.tracer is not None:
+            self.tracer.to_metrics(registry)
+        for job_id, coordinator in self._coordinators.items():
+            registry.view(
+                f"bsp.{job_id}.stragglers",
+                lambda c=coordinator: len(c.recovery.stragglers()),
+            )
         return registry
 
     def _bind_node_metrics(self, node: NodeHandle) -> None:
@@ -601,8 +631,59 @@ class Grid:
                 orb.set_tracer(self.tracer)
             for handle in self.clusters.values():
                 handle.grm.set_tracer(self.tracer)
+            if self.metrics is not None:
+                self.tracer.to_metrics(self.metrics)
         self.tracer.enable()
         return self.tracer
+
+    def enable_journal(self, max_events: int = 200_000):
+        """Turn on the structured event journal (idempotent).
+
+        Every GRM, LRM, reservation ledger, and BSP coordinator gets the
+        same :class:`~repro.obs.EventJournal`; from then on node
+        arrivals/deaths, task placements/evictions/completions,
+        checkpoint saves/restores, reservation grants/violations, BSP
+        supersteps, and dropped status updates are recorded with causal
+        links, stamped in simulated time.  Like metrics and tracing, the
+        journal records — it never schedules events or draws randomness,
+        so an instrumented run replays the uninstrumented one exactly.
+        Nodes already registered are journalled retroactively as
+        ``node_up`` at the current sim time so forensics always has a
+        roster.  Turn it back off with ``grid.journal.disable()``.
+        """
+        if self.journal is not None:
+            self.journal.enable()
+            return self.journal
+        from repro.obs.journal import EventJournal
+        journal = EventJournal(clock=self.loop.clock, max_events=max_events)
+        self.journal = journal
+        for handle in self.clusters.values():
+            handle.grm.set_journal(journal)
+            for node in handle.nodes.values():
+                node.lrm.set_journal(journal)
+            # Roster catch-up: nodes that registered before the journal
+            # existed still appear, so chains can name them.
+            for name, record in sorted(handle.grm._nodes.items()):
+                if record.alive:
+                    journal.record(
+                        "node_up", node=name, cluster=handle.name,
+                        mips=record.last_status.get("mips"),
+                        retroactive=True,
+                    )
+        for coordinator in self._coordinators.values():
+            coordinator.set_journal(journal)
+        if self.metrics is not None:
+            journal.to_metrics(self.metrics)
+        return journal
+
+    def _bind_node_journal(self, node: NodeHandle) -> None:
+        if self.journal is not None:
+            node.lrm.set_journal(self.journal)
+
+    def health_report(self, rules=None, top: int = 5) -> dict:
+        """Forensics + alert postmortem from the live journal/registry."""
+        from repro.obs.health import grid_health_report
+        return grid_health_report(self, rules=rules, top=top)
 
     def metrics_snapshot(self) -> dict:
         """The registry snapshot; enables metrics on first use."""

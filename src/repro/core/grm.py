@@ -110,9 +110,13 @@ class Grm:
         self.stats = GrmStats()
         #: Optional observability hooks; None keeps the seed hot paths.
         self.tracer = None
+        self.journal = None
         self._rank_hist = None
         self._ingest_hist = None
         self._job_trace_ctx: dict[str, tuple] = {}
+        #: Seq of the in-flight node_down event while its evictions run,
+        #: so they journal with a causal link back to the death.
+        self._evict_cause = None
 
         self._nodes: dict[str, NodeRecord] = {}
         #: Batched ingestion: updates mark their node dirty here and the
@@ -167,6 +171,10 @@ class Grm:
         """Attach the grid's span tracer (schedule/trader/placement spans)."""
         self.tracer = tracer
 
+    def set_journal(self, journal) -> None:
+        """Attach the grid's event journal (node/task lifecycle events)."""
+        self.journal = journal
+
     def set_parent(self, parent_stub) -> None:
         """Attach the parent GRM for wide-area forwarding."""
         self._parent = parent_stub
@@ -214,6 +222,13 @@ class Grm:
             (record.last_seen + self._stale_after,
              next(self._expiry_seq), record),
         )
+        journal = self.journal
+        if journal is not None and journal.active:
+            journal.record(
+                "node_up", node=node,
+                cluster=self.cluster,
+                mips=status.get("mips"),
+            )
 
     def unregister_node(self, node: str) -> None:
         record = self._nodes.pop(node, None)
@@ -248,7 +263,14 @@ class Grm:
     def _ingest_full(self, status: dict) -> None:
         record = self._nodes.get(status["node"])
         if record is None:
-            return   # update from an unregistered node: drop, it must re-register
+            # Update from an unregistered node: drop, it must re-register.
+            journal = self.journal
+            if journal is not None and journal.active:
+                journal.record(
+                    "update_dropped", node=status["node"],
+                    cluster=self.cluster, reason="unregistered",
+                )
+            return
         record.last_status = status
         record.last_seen = self._loop.now
         record.alive = True
@@ -263,7 +285,14 @@ class Grm:
     def _ingest_delta(self, node: str, delta: dict) -> None:
         record = self._nodes.get(node)
         if record is None:
-            return   # delta for an unregistered node: drop, it must re-register
+            # Delta for an unregistered node: drop, it must re-register.
+            journal = self.journal
+            if journal is not None and journal.active:
+                journal.record(
+                    "update_dropped", node=node,
+                    cluster=self.cluster, reason="unregistered",
+                )
+            return
         record.last_status = apply_delta(record.last_status, delta)
         record.last_seen = self._loop.now
         record.alive = True
@@ -329,17 +358,43 @@ class Grm:
             self.trader.withdraw(record.offer_id)
         except Exception:
             pass
-        # Tasks on a dead node resume from the cluster checkpoint store.
-        for task_id, (job, task) in list(self._tasks.items()):
-            if task.node == record.node and task.state is TaskState.RUNNING:
-                resume = 0.0
-                if self.store is not None:
-                    checkpoint = self.store.load_latest(task_id)
-                    if checkpoint is not None:
-                        resume = checkpoint.state().get("progress_mips", 0.0)
-                # The node is gone, so progress-at-crash is unknowable;
-                # account only what the checkpoint preserved.
-                self.task_evicted(record.node, task_id, resume, resume)
+        journal = self.journal
+        down = None
+        if journal is not None and journal.active:
+            down = journal.record(
+                "node_down", node=record.node, cluster=self.cluster,
+                reason="status stale",
+                last_seen=record.last_seen,
+            )
+        # Tasks on a dead node resume from the cluster checkpoint store;
+        # their eviction (and any checkpoint read) journals with the
+        # death as its cause.
+        self._evict_cause = down.seq if down is not None else None
+        try:
+            for task_id, (job, task) in list(self._tasks.items()):
+                if task.node == record.node \
+                        and task.state is TaskState.RUNNING:
+                    resume = 0.0
+                    if self.store is not None:
+                        checkpoint = self.store.load_latest(task_id)
+                        if checkpoint is not None:
+                            resume = checkpoint.state().get(
+                                "progress_mips", 0.0
+                            )
+                            if down is not None:
+                                journal.record(
+                                    "checkpoint_restored",
+                                    node=record.node,
+                                    job_id=job.job_id, task_id=task_id,
+                                    cause=down.seq,
+                                    progress_mips=resume,
+                                )
+                    # The node is gone, so progress-at-crash is
+                    # unknowable; account only what the checkpoint
+                    # preserved.
+                    self.task_evicted(record.node, task_id, resume, resume)
+        finally:
+            self._evict_cause = None
         del self._nodes[record.node]
 
     # -- submission (servant operations) ----------------------------------------------
@@ -446,6 +501,13 @@ class Grm:
         task.advance(task.work_mips)
         task.transition(TaskState.COMPLETED, self._loop.now, f"on {node}")
         self.stats.completions += 1
+        journal = self.journal
+        if journal is not None and journal.active:
+            journal.record(
+                "task_completed", node=node,
+                job_id=job.job_id, task_id=task_id,
+                attempts=task.attempts,
+            )
         coordinator = self._coordinators.get(job.job_id)
         if coordinator is not None:
             coordinator.member_completed(task_id)
@@ -468,6 +530,15 @@ class Grm:
         if task.state is not TaskState.RUNNING:
             return
         self.stats.evictions_handled += 1
+        journal = self.journal
+        if journal is not None and journal.active:
+            journal.record(
+                "task_evicted", node=node,
+                job_id=job.job_id, task_id=task_id,
+                cause=self._evict_cause,
+                progress_mips=progress_at_eviction_mips,
+                resume_progress_mips=resume_progress_mips,
+            )
         task.transition(TaskState.EVICTED, self._loop.now, f"from {node}")
         # Credit the work actually done, then lose what was not
         # checkpointed: wasted work shows up in task.wasted_mips.
@@ -695,6 +766,22 @@ class Grm:
         task.transition(TaskState.RESERVED, self._loop.now, node)
         task.transition(TaskState.RUNNING, self._loop.now, node)
         self.stats.placements += 1
+        journal = self.journal
+        if journal is not None and journal.active:
+            journal.record(
+                "task_scheduled", node=node,
+                job_id=job.job_id, task_id=task.task_id,
+                initial_progress_mips=task.progress_mips,
+                attempt=task.attempts,
+            )
+            if task.progress_mips > 0.0:
+                # A mid-flight start means earlier work survived in a
+                # checkpoint: this placement is a restore, not a restart.
+                journal.record(
+                    "task_restored", node=node,
+                    job_id=job.job_id, task_id=task.task_id,
+                    progress_mips=task.progress_mips,
+                )
         job.refresh_state(self._loop.now)
         return True
 

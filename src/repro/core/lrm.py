@@ -89,7 +89,8 @@ class Lrm:
         self.sandbox_policy = sandbox_policy if sandbox_policy is not None \
             else SandboxPolicy()
         self.sandbox_violations = 0
-        self.ledger = ReservationLedger(loop, self._machine)
+        self.journal = None
+        self.ledger = ReservationLedger(loop, self._machine, node=self.node)
         self._running: dict[str, RunningTask] = {}
         self._grm = None           # stub once attached
         self.ior: Optional[str] = None
@@ -138,6 +139,11 @@ class Lrm:
             "sandbox_violations",
         ))
         registry.view(f"{prefix}.running_tasks", lambda: len(self._running))
+
+    def set_journal(self, journal) -> None:
+        """Attach the grid's event journal (checkpoint/reservation events)."""
+        self.journal = journal
+        self.ledger.journal = journal
 
     def attach_grm(self, grm_stub, own_ior: str) -> None:
         """Register with the cluster's GRM and begin periodic updates."""
@@ -293,6 +299,15 @@ class Lrm:
             self.refused_reservations += 1
             return {"accepted": False, "reason": str(exc)}
         self.accepted_reservations += 1
+        journal = self.journal
+        if journal is not None and journal.active:
+            journal.record(
+                "reservation_granted", node=self.node,
+                task_id=request["task_id"],
+                cpu_fraction=request["cpu_fraction"],
+                mem_mb=request["mem_mb"],
+                lease_seconds=request["lease_seconds"],
+            )
         return {"accepted": True, "reason": "ok"}
 
     # servant operation
@@ -430,6 +445,13 @@ class Lrm:
         record.checkpoint_progress = record.progress_mips
         record.next_checkpoint_at = now + record.checkpoint_interval_s
         self.checkpoints_taken += 1
+        journal = self.journal
+        if journal is not None and journal.active:
+            journal.record(
+                "checkpoint_saved", node=self.node,
+                job_id=record.job_id, task_id=record.task_id,
+                progress_mips=record.progress_mips,
+            )
 
     def _complete(self, task_id: str) -> None:
         record = self._running.pop(task_id)

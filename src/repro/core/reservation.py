@@ -32,9 +32,14 @@ class Reservation:
 class ReservationLedger:
     """Tracks reservations against one machine, with automatic expiry."""
 
-    def __init__(self, loop: EventLoop, machine: Machine):
+    def __init__(self, loop: EventLoop, machine: Machine, node: str = ""):
         self._loop = loop
         self._machine = machine
+        self.node = node
+        #: Optional event journal (set by the LRM); a lease expiring
+        #: unconfirmed is a protocol violation worth a forensic record —
+        #: the GRM reserved capacity it never used.
+        self.journal = None
         self._reservations: dict[str, Reservation] = {}
         self.expired_count = 0
         self.refused_count = 0
@@ -108,3 +113,10 @@ class ReservationLedger:
         del self._reservations[task_id]
         self._machine.release(task_id)
         self.expired_count += 1
+        journal = self.journal
+        if journal is not None and journal.active:
+            journal.record(
+                "reservation_violated", node=self.node, task_id=task_id,
+                reason="lease expired unconfirmed",
+                cpu_fraction=reservation.cpu_fraction,
+            )

@@ -1,13 +1,17 @@
-"""Observability: metrics registry, span tracer, and exporters.
+"""Observability: metrics, span tracer, event journal, health plane.
 
 The always-on layer is the :class:`MetricsRegistry` — counters, gauges,
 and fixed-bucket histograms stamped in simulated time, plus pull-views
 over the components' existing cheap counters.  The opt-in layer is the
 :class:`Tracer`, whose spans follow one submission across LRM, Trader,
 GRM, and reservation hops via ORB-propagated trace context, and export
-to JSONL or Chrome ``trace_event`` JSON.
+to JSONL or Chrome ``trace_event`` JSON.  The diagnosis layer is the
+:class:`EventJournal` — typed, causally-linked lifecycle events — with
+:func:`failure_chains` forensics, declarative :class:`AlertRule`
+evaluation, and the :func:`doctor_report` postmortem behind
+``cli doctor``.
 
-Neither layer draws randomness, schedules events, or changes the wire
+No layer draws randomness, schedules events, or changes the wire
 format when idle, so observability never perturbs a deterministic run.
 """
 
@@ -20,6 +24,29 @@ from repro.obs.exporters import (
     validate_chrome_trace,
     validate_chrome_trace_file,
 )
+from repro.obs.health import (
+    AlertEvaluator,
+    AlertFiring,
+    AlertRule,
+    FailureChain,
+    TaskRecovery,
+    default_rules,
+    doctor_report,
+    failure_chains,
+    flatten_metrics,
+    grid_health_report,
+    render_health_report,
+)
+from repro.obs.journal import (
+    EVENT_TYPES,
+    EventJournal,
+    JournalEvent,
+    JournalFormatError,
+    export_journal_jsonl,
+    load_journal_jsonl,
+    validate_journal,
+    validate_journal_file,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -31,20 +58,39 @@ from repro.obs.metrics import (
 from repro.obs.trace import NULL_SPAN, Span, Tracer
 
 __all__ = [
+    "AlertEvaluator",
+    "AlertFiring",
+    "AlertRule",
     "Counter",
+    "EVENT_TYPES",
+    "EventJournal",
+    "FailureChain",
     "Gauge",
     "Histogram",
+    "JournalEvent",
+    "JournalFormatError",
     "LATENCY_BOUNDS_S",
     "MetricsRegistry",
     "NULL_SPAN",
     "SIM_SECONDS_BOUNDS",
     "Span",
+    "TaskRecovery",
     "Tracer",
     "TraceFormatError",
     "chrome_trace_events",
+    "default_rules",
+    "doctor_report",
     "export_chrome_trace",
+    "export_journal_jsonl",
     "export_jsonl",
     "export_metrics_json",
+    "failure_chains",
+    "flatten_metrics",
+    "grid_health_report",
+    "load_journal_jsonl",
+    "render_health_report",
     "validate_chrome_trace",
     "validate_chrome_trace_file",
+    "validate_journal",
+    "validate_journal_file",
 ]

@@ -88,8 +88,12 @@ class Histogram:
                  "min", "max")
 
     def __init__(self, name: str, bounds: Sequence[float] = LATENCY_BOUNDS_S):
-        if not bounds or list(bounds) != sorted(bounds):
-            raise ValueError("bounds must be a non-empty ascending sequence")
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError(
+                "bounds must be a non-empty strictly increasing sequence"
+            )
         self.name = name
         self.bounds = tuple(float(b) for b in bounds)
         self.counts = [0] * (len(self.bounds) + 1)

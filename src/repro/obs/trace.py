@@ -168,6 +168,18 @@ class Tracer:
         else:
             self.dropped += 1
 
+    # -- observability of the observer ---------------------------------------
+
+    def to_metrics(self, registry) -> None:
+        """Publish span accounting as registry views.
+
+        ``obs.trace.dropped_spans`` is the count silently lost at the
+        ``max_spans`` cap — nonzero means exported traces are missing
+        their tail and the cap (or the run length) needs adjusting.
+        """
+        registry.view("obs.trace.dropped_spans", lambda: self.dropped)
+        registry.view("obs.trace.finished_spans", lambda: len(self.finished))
+
     # -- context propagation -------------------------------------------------
 
     def context(self) -> Optional[tuple]:

@@ -204,3 +204,49 @@ class TestTraceWorkstation:
         })
         loop.run_until(1500.0)   # the trace's owner arrives at t=1000
         assert lrm.evicted_count == 1
+
+
+class TestMonitorBeforeFirstSample:
+    """Every query must return a benign empty before sample() ever runs."""
+
+    def fresh_monitor(self):
+        grid = Grid(seed=1, policy="first_fit", lupa_enabled=False)
+        grid.add_cluster("c0")
+        grid.add_node("c0", "d0", dedicated=True)
+        # Long period: no periodic sample can sneak in during the test.
+        monitor = ClusterMonitor(
+            grid.loop, grid.clusters["c0"].grm, period=1e9
+        )
+        return grid, monitor
+
+    def test_queries_return_benign_empties(self):
+        _grid, monitor = self.fresh_monitor()
+        assert monitor.snapshots == []
+        assert monitor.latest() is None
+        assert monitor.series("grid_tasks") == []
+        assert monitor.mean("grid_tasks") == 0.0
+        assert monitor.sparkline("grid_tasks") == ""
+        assert monitor.sparkline("grid_tasks", width=5) == ""
+
+    def test_metrics_views_read_zero_before_first_sample(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        _grid, monitor = self.fresh_monitor()
+        registry = MetricsRegistry()
+        monitor.to_metrics(registry)
+        metrics = registry.snapshot()["metrics"]
+        assert metrics["monitor.c0.samples"] == 0
+        assert metrics["monitor.c0.nodes"] == 0
+        assert metrics["monitor.c0.grid_utilisation"] == 0
+        # status_age_mean reads the GRM directly, not the snapshots.
+        assert metrics["monitor.c0.status_age_mean_s"] >= 0.0
+
+    def test_first_sample_flips_queries_to_real_data(self):
+        grid, monitor = self.fresh_monitor()
+        grid.run_for(120)
+        snapshot = monitor.sample()
+        assert monitor.latest() is snapshot
+        assert snapshot.nodes == 1
+        assert monitor.series("nodes") == [(snapshot.time, 1)]
+        assert monitor.mean("nodes") == 1.0
+        assert len(monitor.sparkline("nodes")) == 1

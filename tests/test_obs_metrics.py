@@ -308,3 +308,54 @@ def test_export_metrics_json_round_trip(tmp_path):
     assert loaded["metrics"]["c"] == 2
     assert loaded["metrics"]["h"]["count"] == 1
     assert snapshot["metrics"]["c"] == 2
+
+
+class TestHistogramValidation:
+    """Bounds and percentile argument checking (defensive hardening)."""
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Histogram("h", bounds=())
+
+    def test_non_increasing_bounds_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", bounds=(1.0, 3.0, 2.0))
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", bounds=(1.0, 2.0, 2.0, 3.0))
+
+    def test_single_bound_is_valid(self):
+        hist = Histogram("h", bounds=(1.0,))
+        hist.observe(0.5)
+        hist.observe(2.0)
+        assert hist.counts == [1, 1]
+
+    def test_registry_histogram_validates_bounds_too(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", bounds=[5.0, 5.0])
+
+    def test_percentile_rejects_out_of_range_q(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        hist.observe(0.5)
+        for bad in (-0.1, 100.1, 1e9, -50):
+            with pytest.raises(ValueError, match=r"\[0, 100\]"):
+                hist.percentile(bad)
+
+    def test_percentile_q0_and_q100_clamp_to_observed_extremes(self):
+        hist = Histogram("h", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.percentile(0) == 0.5
+        assert hist.percentile(100) == 50.0
+        assert 0.5 <= hist.percentile(50) <= 50.0
+
+    def test_percentile_of_empty_histogram_is_zero(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        assert hist.percentile(0) == 0.0
+        assert hist.percentile(50) == 0.0
+        assert hist.percentile(100) == 0.0
+        snapshot = hist.snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p50"] == 0.0 and snapshot["p99"] == 0.0

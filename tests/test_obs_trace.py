@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs.trace import NULL_SPAN, Tracer
+from repro.obs.trace import NULL_SPAN, Span, Tracer
 from repro.sim.clock import SimClock
 
 
@@ -326,3 +326,123 @@ def test_validate_chrome_trace_rejects_malformed_events():
     assert validate_chrome_trace(
         [{"name": "a", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1}]
     ) == 1
+
+
+class TestDroppedSpanAccounting:
+    def test_spans_past_cap_are_counted_not_kept(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(5):
+            with tracer.span(f"op{i}"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_dropped_spans_exposed_as_registry_view(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        tracer = Tracer(max_spans=1)
+        registry = MetricsRegistry()
+        tracer.to_metrics(registry)
+        with tracer.span("kept"):
+            pass
+        with tracer.span("dropped"):
+            pass
+        metrics = registry.snapshot()["metrics"]
+        assert metrics["obs.trace.dropped_spans"] == 1
+        assert metrics["obs.trace.finished_spans"] == 1
+
+    def test_grid_wires_tracer_views_in_either_enable_order(self):
+        from repro.core.grid import Grid
+
+        # metrics first, then tracing
+        grid = Grid(seed=1, lupa_enabled=False)
+        grid.add_cluster("c0")
+        grid.enable_metrics()
+        grid.enable_tracing()
+        metrics = grid.metrics_snapshot()["metrics"]
+        assert metrics["obs.trace.dropped_spans"] == 0
+        # tracing first, then metrics
+        grid2 = Grid(seed=1, lupa_enabled=False)
+        grid2.add_cluster("c0")
+        grid2.enable_tracing()
+        metrics2 = grid2.metrics_snapshot()["metrics"]
+        assert metrics2["obs.trace.dropped_spans"] == 0
+
+    def test_clear_resets_drop_count(self):
+        tracer = Tracer(max_spans=1)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        tracer.clear()
+        assert tracer.dropped == 0
+        assert len(tracer) == 0
+
+
+class TestAdversarialTraceExport:
+    """The exporter and validator must survive malformed span shapes."""
+
+    def _export(self, spans):
+        from repro.obs.exporters import chrome_trace_events, validate_chrome_trace
+
+        events = chrome_trace_events(spans)
+        assert validate_chrome_trace(events) == len(spans)
+        return events
+
+    def test_span_with_missing_parent_id_round_trips(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("orphan"):
+            clock.advance_to(1.0)
+        span = tracer.finished[0]
+        span.parent_id = 9999   # points at a span that was never exported
+        (event,) = self._export([span])
+        assert event["args"]["parent_id"] == 9999
+
+    def test_unfinished_span_exports_with_zero_duration(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        context = tracer.span("open")
+        span = context.span
+        assert span.end is None   # never closed
+        (event,) = self._export([span])
+        assert event["dur"] == 0.0
+        assert event["args"]["sim_end_s"] == event["args"]["sim_start_s"]
+
+    def test_zero_duration_span_is_valid(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("instant"):
+            pass   # no clock advance
+        (event,) = self._export(tracer.finished)
+        assert event["dur"] == 0.0
+
+    def test_out_of_order_start_times_still_validate(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        clock.advance_to(10.0)
+        with tracer.span("late-first"):
+            clock.advance_to(11.0)
+        later = tracer.finished[0]
+        earlier = Span("t9", 99, None, "early-second", 2.0, {})
+        earlier.end = 3.0
+        events = self._export([later, earlier])
+        assert [e["ts"] for e in events] == [10.0 * 1e6, 2.0 * 1e6]
+
+    def test_adversarial_spans_survive_file_round_trip(self, tmp_path):
+        from repro.obs.exporters import (
+            export_chrome_trace,
+            validate_chrome_trace_file,
+        )
+
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("parent", component="c0"):
+            clock.advance_to(5.0)
+        orphan = Span("tX", 7, 424242, "orphan", 9.0, {})   # missing parent
+        orphan.end = 9.0                                     # zero duration
+        stuck = Span("tY", 8, None, "stuck", 4.0, {})        # never finished
+        spans = [orphan, stuck] + tracer.finished            # out of order
+        path = str(tmp_path / "trace.json")
+        export_chrome_trace(spans, path)
+        assert validate_chrome_trace_file(path) == 3
