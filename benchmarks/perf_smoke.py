@@ -2,15 +2,18 @@
 
 Remeasures the 32-node S1 simulator throughput, the 1000-offer indexed
 trader query rate, the 1024-node S2 pattern-aware ranking rate, the
-10k-node S3 information-plane run, and the 1024-process S4
-execution-plane run (reusing the benchmark modules' own builders, so
-the measured workload cannot drift from what produced the baseline),
-then compares against the committed ``BENCH_S1.json`` /
-``BENCH_E11.json`` / ``BENCH_S2.json`` / ``BENCH_S3.json`` /
-``BENCH_S4.json``.  A drop of more than ``TOLERANCE`` fails the build;
-S3 and S4 additionally enforce absolute headline ratios (>= 5x plane
-cost and >= 3x bytes on the wire for S3; >= 3x checkpoint bytes down
-and exactly O(peers) ORB calls for S4).
+10k-node S3 information-plane run, the 1024-process S4
+execution-plane run, and the 256-cluster S5 wide-area run (reusing the
+benchmark modules' own builders, so the measured workload cannot drift
+from what produced the baseline), then compares against the committed
+``BENCH_S1.json`` / ``BENCH_E11.json`` / ``BENCH_S2.json`` /
+``BENCH_S3.json`` / ``BENCH_S4.json`` / ``BENCH_S5.json``.  A drop of
+more than ``TOLERANCE`` fails the build; S3 and S4 additionally
+enforce absolute headline ratios (>= 5x plane cost and >= 3x bytes on
+the wire for S3; >= 3x checkpoint bytes down and exactly O(peers) ORB
+calls for S4), and S5 enforces >= 5x submit-path cost down, >= 3x
+uplink bytes down, and bit-identical placements between the seed
+scan and the indexed fast path.
 
 The 30 % margin absorbs runner-to-runner noise; the regressions this
 guards against — losing an index, falling off a compiled path, an
@@ -41,6 +44,7 @@ from bench_s4_execution_plane import (  # noqa: E402
     drive_comm,
     measure_checkpoint_plane,
 )
+from bench_s5_wide_area import measure_wide_area  # noqa: E402
 from bench_s2_scheduler_throughput import (  # noqa: E402
     _best_pass_s,
     build_workload,
@@ -232,6 +236,45 @@ def main():
         print(f"S4 combining ORB calls (1024 procs): "
               f"{comb['orb_calls']:,} (expected exactly {expected_calls:,}, "
               f"= {MSGS_PER_PEER}x fewer than per-message) -> {verdict}")
+        failures += not ok
+
+    s5 = load_json("S5")
+    if s5 is None:
+        print("no BENCH_S5.json baseline committed; skipping S5 smoke")
+    else:
+        seed = measure_wide_area(256, "seed")
+        indexed = measure_wide_area(256, "indexed")
+        delta = measure_wide_area(256, "indexed+delta")
+        baseline = next(
+            row["submits_per_wall_s"] for row in s5["rows"]
+            if row["clusters"] == 256 and row["mode"] == "indexed"
+        )
+        failures += not check(
+            "S5 indexed wide-area submits (256 clusters)",
+            indexed["submits_per_wall_s"], baseline,
+        )
+        # Absolute headline gates: the indexed placement path must stay
+        # >= 5x cheaper than the seed scan+sort, delta uplinks must keep
+        # >= 3x bytes off the federation wire, and the index must place
+        # jobs exactly where the seed ranking would.
+        cost_ratio = seed["submit_cost_s"] / indexed["submit_cost_s"]
+        ok = cost_ratio >= 5.0
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"S5 submit-cost reduction (256 clusters): "
+              f"{cost_ratio:.1f}x (floor 5.0x) -> {verdict}")
+        failures += not ok
+        bytes_ratio = seed["uplink_bytes"] / delta["uplink_bytes"]
+        ok = bytes_ratio >= 3.0
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"S5 uplink-bytes reduction (256 clusters): "
+              f"{bytes_ratio:.1f}x (floor 3.0x) -> {verdict}")
+        failures += not ok
+        ok = (seed["placements_digest"] == indexed["placements_digest"]
+              and indexed["oracle_mismatches"] == 0
+              and delta["oracle_mismatches"] == 0)
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"S5 placement equivalence (256 clusters): "
+              f"seed==indexed digest and 0 oracle mismatches -> {verdict}")
         failures += not ok
 
     plain_rate, metered_rate = measure_metrics_overhead()

@@ -15,7 +15,12 @@ from repro.core.asct import Asct, JobEvent
 from repro.core.grid import Grid, ClusterHandle, NodeHandle, DEDICATED_POLICY
 from repro.core.grm import Grm, GrmStats
 from repro.core.gupa import Gupa, UNKNOWN
-from repro.core.hierarchy import ClusterUplink, ParentGrm
+from repro.core.hierarchy import (
+    ClusterUplink,
+    HierarchyError,
+    NoCapacity,
+    ParentGrm,
+)
 from repro.core.lrm import Lrm
 from repro.core.lupa import Lupa
 from repro.core.ncc import (
@@ -50,6 +55,8 @@ __all__ = [
     "Gupa",
     "UNKNOWN",
     "ClusterUplink",
+    "HierarchyError",
+    "NoCapacity",
     "ParentGrm",
     "Lrm",
     "Lupa",

@@ -105,6 +105,13 @@ class Grid:
         checkpoint_chunk_size: Optional[int] = None,
         checkpoint_rebase_every: Optional[int] = None,
         skip_unchanged_checkpoints: bool = False,
+        incremental_summaries: bool = False,
+        indexed_placement: bool = False,
+        delta_uplinks: bool = False,
+        summary_interval: Optional[float] = None,
+        summary_refresh_every: int = 10,
+        summary_epsilon: float = 0.0,
+        max_summary_interval: Optional[float] = None,
     ):
         self.loop = EventLoop()
         self.streams = SeededStreams(seed)
@@ -144,6 +151,20 @@ class Grid:
             else DEFAULT_REBASE_EVERY
         )
         self.skip_unchanged_checkpoints = skip_unchanged_checkpoints
+        #: Wide-area-plane scaling knobs (off by default: parents keep
+        #: the seed O(children) aggregation, scan-and-sort placement,
+        #: and fixed-interval full-summary uplinks).
+        from repro.core.hierarchy import DEFAULT_SUMMARY_INTERVAL
+        self.incremental_summaries = incremental_summaries
+        self.indexed_placement = indexed_placement
+        self.delta_uplinks = delta_uplinks
+        self.summary_interval = (
+            summary_interval if summary_interval is not None
+            else DEFAULT_SUMMARY_INTERVAL
+        )
+        self.summary_refresh_every = summary_refresh_every
+        self.summary_epsilon = summary_epsilon
+        self.max_summary_interval = max_summary_interval
         from repro.apps.registry import DEFAULT_REGISTRY
         self.programs = programs if programs is not None else DEFAULT_REGISTRY
         # Optional cluster-membership authentication: with a secret set,
@@ -165,6 +186,9 @@ class Grid:
         self.tracer = None
         self.journal = None
         self._orbs: list[Orb] = []
+        #: ParentGrms built by connect_clusters_to_parent/build_hierarchy
+        #: (for metrics/journal wiring), keyed by parent name.
+        self._parents: dict[str, object] = {}
 
     def _make_orb(self, name: str) -> Orb:
         """All grid ORBs share the membership credential (if any)."""
@@ -448,23 +472,140 @@ class Grid:
         handle.gupa.forget(name)
         node.orb.shutdown()
 
-    def connect_clusters_to_parent(self, parent_name: str = "parent"):
-        """Build a two-level hierarchy over all current clusters."""
-        from repro.core.hierarchy import ClusterUplink, ParentGrm
+    def _parent_stale_after(self) -> Optional[float]:
+        """Summary-staleness window for parents, or None (seed: no sweep).
+
+        Only armed in delta-uplink mode, where heartbeat suppression makes
+        "no summary for a while" meaningful: a healthy throttled child
+        still heartbeats at ``max_summary_interval`` at the slowest, so
+        the window keys off that cadence (same reasoning as the GRM's
+        node staleness in :meth:`_slowest_healthy_interval`).
+        """
+        if not self.delta_uplinks:
+            return None
+        from repro.core.hierarchy import DEFAULT_SUMMARY_STALE_FACTOR
+        slowest = self.summary_interval
+        if self.max_summary_interval is not None:
+            slowest = max(slowest, self.max_summary_interval)
+        return slowest * DEFAULT_SUMMARY_STALE_FACTOR
+
+    def _make_parent(self, parent_name: str):
+        """Create a ParentGrm on its own ORB, wired to the grid's flags.
+
+        The servant is activated under both the ParentGrm interface (for
+        children) and the GRM facade interface (so a higher-level parent
+        can treat it as a cluster).  Returns ``(parent, parent_ior,
+        facade_ior)``.
+        """
+        from repro.core.hierarchy import ParentGrm
         from repro.core.protocols import PARENT_GRM_INTERFACE
 
+        if parent_name in self._parents:
+            raise ValueError(f"parent {parent_name!r} already exists")
+        if parent_name in self.clusters:
+            raise ValueError(
+                f"{parent_name!r} is already a cluster name"
+            )
         orb = self._make_orb(f"{parent_name}-orb")
-        parent = ParentGrm(self.loop, orb, name=parent_name)
+        parent = ParentGrm(
+            self.loop, orb, name=parent_name,
+            incremental_aggregation=self.incremental_summaries,
+            indexed_placement=self.indexed_placement,
+            stale_after=self._parent_stale_after(),
+        )
         parent_ior = orb.activate(
             parent, PARENT_GRM_INTERFACE, key=f"{parent_name}/grm"
         ).to_string()
-        uplinks = []
-        for handle in self.clusters.values():
-            stub = handle.orb.stub(parent_ior, PARENT_GRM_INTERFACE)
-            uplinks.append(
-                ClusterUplink(self.loop, handle.grm, stub, handle.grm_ior)
-            )
+        facade_ior = orb.activate(
+            parent, GRM_INTERFACE, key=f"{parent_name}/grm-facade"
+        ).to_string()
+        self._parents[parent_name] = parent
+        if self.metrics is not None:
+            parent.bind_metrics(self.metrics)
+        if self.journal is not None:
+            parent.set_journal(self.journal)
+        return parent, parent_ior, facade_ior
+
+    def _make_uplink(self, handle: ClusterHandle, parent_ior: str):
+        """Connect one cluster's GRM to a parent, honouring the flags."""
+        from repro.core.hierarchy import ClusterUplink
+        from repro.core.protocols import PARENT_GRM_INTERFACE
+
+        stub = handle.orb.stub(parent_ior, PARENT_GRM_INTERFACE)
+        return ClusterUplink(
+            self.loop, handle.grm, stub, handle.grm_ior,
+            interval=self.summary_interval,
+            delta=self.delta_uplinks,
+            full_refresh_every=self.summary_refresh_every,
+            epsilon=self.summary_epsilon,
+            max_interval=self.max_summary_interval,
+        )
+
+    def connect_clusters_to_parent(self, parent_name: str = "parent"):
+        """Build a two-level hierarchy over all current clusters."""
+        parent, parent_ior, _facade = self._make_parent(parent_name)
+        uplinks = [
+            self._make_uplink(handle, parent_ior)
+            for handle in self.clusters.values()
+        ]
         return parent, uplinks
+
+    def build_hierarchy(self, tree: dict):
+        """Build an arbitrary-depth hierarchy from a nested description.
+
+        ``tree`` is a single-key dict mapping a parent name to its
+        children; each child is either an existing cluster's name or a
+        nested single-key dict describing a sub-parent::
+
+            parents, uplinks = grid.build_hierarchy(
+                {"root": ["hq", {"campus": ["lab-a", "lab-b"]}]}
+            )
+
+        Every parent honours the grid's wide-area flags.  Sub-parents
+        join their parent through the GRM facade (they look like one big
+        cluster from above), streaming delta summaries when
+        ``delta_uplinks`` is on.  Returns ``(parents, uplinks)`` where
+        ``parents`` maps each parent name to its :class:`ParentGrm`.
+        """
+        from repro.core.protocols import PARENT_GRM_INTERFACE
+
+        if len(tree) != 1:
+            raise ValueError(
+                f"tree must have exactly one root, got {sorted(tree)}"
+            )
+        parents: dict = {}
+        uplinks: list = []
+
+        def build(name: str, children: list):
+            parent, parent_ior, facade_ior = self._make_parent(name)
+            parents[name] = parent
+            for child in children:
+                if isinstance(child, dict):
+                    if len(child) != 1:
+                        raise ValueError(
+                            f"sub-parent nodes take exactly one name, "
+                            f"got {sorted(child)}"
+                        )
+                    (sub_name, sub_children), = child.items()
+                    sub, sub_facade_ior = build(sub_name, sub_children)
+                    stub = sub._orb.stub(parent_ior, PARENT_GRM_INTERFACE)
+                    sub.attach_parent(
+                        stub, sub_facade_ior,
+                        interval=self.summary_interval,
+                        delta=self.delta_uplinks,
+                        full_refresh_every=self.summary_refresh_every,
+                        epsilon=self.summary_epsilon,
+                        max_interval=self.max_summary_interval,
+                    )
+                else:
+                    uplinks.append(
+                        self._make_uplink(self._cluster(child), parent_ior)
+                    )
+            return parent, facade_ior
+
+        (root_name, root_children), = tree.items()
+        build(root_name, root_children)
+        return parents, uplinks
 
     # -- submission -----------------------------------------------------------------
 
@@ -566,6 +707,8 @@ class Grid:
             )
             for node in handle.nodes.values():
                 self._bind_node_metrics(node)
+        for parent in self._parents.values():
+            parent.bind_metrics(registry)
         for field_name in ("completed_count", "evicted_count",
                            "checkpoints_taken", "checkpoints_skipped",
                            "refused_reservations",
@@ -672,6 +815,17 @@ class Grid:
                     )
         for coordinator in self._coordinators.values():
             coordinator.set_journal(journal)
+        for parent in self._parents.values():
+            parent.set_journal(journal)
+            # Roster catch-up for clusters, mirroring the node roster.
+            for cluster in parent.clusters:
+                record = parent._children[cluster]
+                if record.alive:
+                    journal.record(
+                        "cluster_up", cluster=cluster, parent=parent.name,
+                        nodes=record.summary.get("nodes"),
+                        retroactive=True,
+                    )
         if self.metrics is not None:
             journal.to_metrics(self.metrics)
         return journal

@@ -119,6 +119,10 @@ class Grm:
         self._evict_cause = None
 
         self._nodes: dict[str, NodeRecord] = {}
+        #: Node-derived summary sums are cached per epoch; any change to
+        #: the roster or a stored status bumps the epoch and invalidates.
+        self._summary_epoch = 0
+        self._summary_cache: Optional[tuple] = None
         #: Batched ingestion: updates mark their node dirty here and the
         #: Trader is brought up to date in one pass before the next query.
         self._batched_ingest = batched_ingest
@@ -217,6 +221,7 @@ class Grm:
             node, lrm_ior, stub, offer_id, status, self._loop.now
         )
         self._nodes[node] = record
+        self._summary_epoch += 1
         heappush(
             self._expiry_heap,
             (record.last_seen + self._stale_after,
@@ -234,6 +239,7 @@ class Grm:
         record = self._nodes.pop(node, None)
         if record is None:
             return
+        self._summary_epoch += 1
         self._dirty.pop(node, None)
         try:
             self.trader.withdraw(record.offer_id)
@@ -274,6 +280,7 @@ class Grm:
         record.last_status = status
         record.last_seen = self._loop.now
         record.alive = True
+        self._summary_epoch += 1
         if self._batched_ingest:
             self._dirty[record.node] = record
         else:
@@ -296,6 +303,7 @@ class Grm:
         record.last_status = apply_delta(record.last_status, delta)
         record.last_seen = self._loop.now
         record.alive = True
+        self._summary_epoch += 1
         if self._batched_ingest:
             self._dirty[node] = record
         else:
@@ -352,6 +360,7 @@ class Grm:
 
     def _declare_dead(self, record: NodeRecord) -> None:
         record.alive = False
+        self._summary_epoch += 1
         self._dirty.pop(record.node, None)
         self.stats.nodes_declared_dead += 1
         try:
@@ -940,20 +949,36 @@ class Grm:
     # -- summaries (for the hierarchy) ---------------------------------------------------------
 
     def cluster_summary(self) -> dict:
-        statuses = [r.last_status for r in self._nodes.values() if r.alive]
+        cache = self._summary_cache
+        if cache is not None and cache[0] == self._summary_epoch:
+            node_sums = cache[1]
+        else:
+            statuses = [
+                r.last_status for r in self._nodes.values() if r.alive
+            ]
+            node_sums = {
+                "nodes": len(statuses),
+                "sharing_nodes": sum(1 for s in statuses if s["sharing"]),
+                "free_cpu_total": sum(s["cpu_free"] for s in statuses),
+                "free_mem_total_mb": sum(
+                    s["mem_free_mb"] for s in statuses
+                ),
+                "max_node_mips": max(
+                    (s["mips"] for s in statuses), default=0.0
+                ),
+            }
+            self._summary_cache = (self._summary_epoch, node_sums)
+        # Time and the pending-task count are always computed fresh: the
+        # queue changes on schedule passes, not node updates.  A job id
+        # can linger in _pending after the job is gone — skip it.
         pending_tasks = sum(
             1
             for job_id in self._pending
-            for t in self._jobs[job_id].tasks
-            if job_id in self._jobs and t.state is TaskState.PENDING
+            if (job := self._jobs.get(job_id)) is not None
+            for t in job.tasks
+            if t.state is TaskState.PENDING
         )
-        return {
-            "cluster": self.cluster,
-            "time": self._loop.now,
-            "nodes": len(statuses),
-            "sharing_nodes": sum(1 for s in statuses if s["sharing"]),
-            "free_cpu_total": sum(s["cpu_free"] for s in statuses),
-            "free_mem_total_mb": sum(s["mem_free_mb"] for s in statuses),
-            "max_node_mips": max((s["mips"] for s in statuses), default=0.0),
-            "pending_tasks": pending_tasks,
-        }
+        summary = {"cluster": self.cluster, "time": self._loop.now}
+        summary.update(node_sums)
+        summary["pending_tasks"] = pending_tasks
+        return summary

@@ -252,6 +252,19 @@ PARENT_GRM_INTERFACE = InterfaceDef(
             Void,
             oneway=True,
         ),
+        # Delta-compressed summary stream: only the fields that changed
+        # since the cluster's last accepted summary (plus "time") travel.
+        # Same shape as the node-level send_delta — the keys vary per
+        # message, so the payload rides as a VARIANT.
+        Operation(
+            "send_summary_delta",
+            (Parameter("cluster", String), Parameter("delta", VARIANT)),
+            Void,
+            oneway=True,
+        ),
+        Operation(
+            "unregister_cluster", (Parameter("cluster", String),), Void
+        ),
         Operation(
             "submit_remote",
             (

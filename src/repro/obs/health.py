@@ -425,10 +425,30 @@ def doctor_report(
     chains = failure_chains(events)
     if time is None:
         time = events[-1]["time"] if events else 0.0
+    # Wide-area forensics: a cluster is dead if its last lifecycle event
+    # at any parent was cluster_down (a later cluster_up revives it).
+    cluster_state: dict = {}
+    for event in events:
+        if event["type"] in ("cluster_up", "cluster_down"):
+            cluster = event["attrs"].get("cluster")
+            if cluster is not None:
+                cluster_state[cluster] = event
+    dead_clusters = [
+        {
+            "cluster": cluster,
+            "parent": event["attrs"].get("parent"),
+            "down_at": event["time"],
+            "reason": event["attrs"].get("reason"),
+            "last_seen": event["attrs"].get("last_seen"),
+        }
+        for cluster, event in sorted(cluster_state.items())
+        if event["type"] == "cluster_down"
+    ]
     report = {
         "time": time,
         "events": len(events),
         "dead_nodes": [c.node for c in chains],
+        "dead_clusters": dead_clusters,
         "chains": [c.to_dict() for c in chains],
         "jobs_affected": sorted({
             job for c in chains for job in c.jobs_affected
@@ -510,6 +530,12 @@ def render_health_report(report: Mapping) -> str:
                 + (f", completed t={completed:.0f}s"
                    if completed is not None else ", not completed")
             )
+    for dead in report.get("dead_clusters", ()):
+        lines.append(
+            f"  cluster {dead['cluster']} DOWN at t={dead['down_at']:.0f}s"
+            + (f" at parent {dead['parent']}" if dead.get("parent") else "")
+            + (f" ({dead['reason']})" if dead.get("reason") else "")
+        )
     jobs = report.get("jobs_affected", ())
     if jobs:
         lines.append(f"  jobs affected: {', '.join(jobs)}")

@@ -37,6 +37,8 @@ PathOrFile = Union[str, IO]
 EVENT_TYPES = frozenset({
     "node_up",
     "node_down",
+    "cluster_up",
+    "cluster_down",
     "task_scheduled",
     "task_evicted",
     "task_restored",

@@ -307,6 +307,7 @@ def test_journal_does_not_perturb_determinism():
 def test_event_type_vocabulary_is_the_documented_set():
     assert EVENT_TYPES == {
         "node_up", "node_down",
+        "cluster_up", "cluster_down",
         "task_scheduled", "task_evicted", "task_restored", "task_completed",
         "checkpoint_saved", "checkpoint_restored",
         "reservation_granted", "reservation_violated",
