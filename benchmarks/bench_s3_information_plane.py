@@ -6,11 +6,14 @@ identical snapshots.  This benchmark drives a *real* GRM through a real
 ORB with three configurations of the same workload and measures what
 the scaling features buy:
 
-* ``full``       — the seed protocol: full snapshot, every node, every
+* ``full``        — the seed protocol: full snapshot, every node, every
   interval, re-indexed per update (the paper's baseline).
-* ``delta``      — delta encoding + adaptive throttling on the sender,
+* ``delta``       — delta encoding + adaptive throttling on the sender,
   batched ingestion on the GRM; still fully marshalled.
-* ``delta+fast`` — the same, plus the in-process ORB fast path.
+* ``delta+batch`` — the same, plus transport-level oneway batching: the
+  sender ORB queues its update oneways and flushes once per interval,
+  so frames drop from O(messages) to O(flushes) (still marshalled).
+* ``delta+fast``  — delta + the in-process ORB fast path.
 
 Senders are :class:`~repro.core.update_protocol.DeltaSender` machines
 over synthetic status dicts (building 10k full node stacks would
@@ -28,6 +31,7 @@ gates (>= 5x plane cost down with everything on, >= 3x bytes down from
 deltas + throttling alone, both at 10k nodes) run in ``perf_smoke.py``.
 """
 
+import hashlib
 import time
 
 from repro.core.grm import Grm
@@ -41,7 +45,7 @@ from repro.analysis.metrics import Table
 from conftest import save_json, save_result
 
 SCALING_NODES = (1_000, 4_000, 10_000)
-MODES = ("full", "delta", "delta+fast")
+MODES = ("full", "delta", "delta+batch", "delta+fast")
 ROUNDS = 36                    # simulated update intervals per run
 BASE_INTERVAL = 60.0
 MAX_INTERVAL = 8 * BASE_INTERVAL
@@ -63,9 +67,12 @@ def node_status(i):
 def build_plane(nodes, mode):
     """A registered GRM + client stub + per-node sender state."""
     fast = mode == "delta+fast"
+    batch = mode == "delta+batch"
     domain = InProcDomain()
-    server_orb = Orb("grm-orb", domain=domain, fast_local=fast)
-    client_orb = Orb("lrm-orb", domain=domain, fast_local=fast)
+    server_orb = Orb("grm-orb", domain=domain, fast_local=fast,
+                     batch_oneway=batch)
+    client_orb = Orb("lrm-orb", domain=domain, fast_local=fast,
+                     batch_oneway=batch)
     grm = Grm(EventLoop(), server_orb, cluster="bench",
               batched_ingest=(mode != "full"))
     grm_ref = server_orb.activate(grm, GRM_INTERFACE, key="bench/grm")
@@ -99,8 +106,15 @@ def build_plane(nodes, mode):
     return server_orb, client_orb, grm, stub, statuses, senders, next_due
 
 
-def drive(grm, stub, statuses, senders, next_due, rounds=ROUNDS):
-    """Run the workload; returns (messages sent, wall seconds)."""
+def drive(grm, stub, statuses, senders, next_due, rounds=ROUNDS,
+          flush_orb=None):
+    """Run the workload; returns (messages sent, wall seconds).
+
+    ``flush_orb`` (the sender ORB, in ``delta+batch`` mode) is flushed
+    at every interval boundary — the bench's stand-in for the grid's
+    sim-event-boundary flush — so each round's queued oneways ride one
+    batch frame.
+    """
     sent = 0
     start = time.perf_counter()
     for r in range(1, rounds + 1):
@@ -128,6 +142,8 @@ def drive(grm, stub, statuses, senders, next_due, rounds=ROUNDS):
                     stub.send_delta(status["node"], dict(payload))
                 next_due[i] = now + sender.current_interval
                 sent += 1
+        if flush_orb is not None:
+            flush_orb.flush()
         if r % QUERY_EVERY == 0:
             grm.flush_updates()   # a consumer reads the Trader's view
     grm.flush_updates()
@@ -139,19 +155,31 @@ def measure_mode(nodes, mode, rounds=ROUNDS):
     server_orb, client_orb, grm, stub, statuses, senders, next_due = \
         build_plane(nodes, mode)
     try:
-        sent, elapsed = drive(grm, stub, statuses, senders, next_due, rounds)
+        sent, elapsed = drive(
+            grm, stub, statuses, senders, next_due, rounds,
+            flush_orb=client_orb if mode == "delta+batch" else None,
+        )
         wire = server_orb.stats()
         bytes_in = wire["bytes_received"]
         assert grm.stats.updates_received == sent
+        # Fold the GRM's final node view into a digest: batching must
+        # leave the information plane's *state* bit-identical, not just
+        # its counters.
+        digest = hashlib.sha256()
+        for node in sorted(grm._nodes):
+            status = grm._nodes[node].last_status
+            digest.update(f"{node}|{sorted(status.items())!r}".encode())
         return {
             "nodes": nodes,
             "mode": mode,
             "rounds": rounds,
             "messages": sent,
+            "frames": wire["requests_received"],
             "updates_per_wall_s": round(sent / elapsed, 1),
             "wire_bytes": bytes_in,
             "bytes_per_update": round(bytes_in / sent, 1) if sent else 0.0,
             "plane_cost_s": round(elapsed, 4),
+            "view_digest": digest.hexdigest(),
         }
     finally:
         grm.stop()
@@ -161,7 +189,7 @@ def measure_mode(nodes, mode, rounds=ROUNDS):
 
 def run_experiment():
     table = Table(
-        ["nodes", "mode", "messages", "updates/s (wall)",
+        ["nodes", "mode", "messages", "frames", "updates/s (wall)",
          "bytes/update", "KB on wire", "plane cost (s)"],
         title="S3: information-plane cost per 36 simulated intervals",
     )
@@ -171,7 +199,7 @@ def run_experiment():
             row = measure_mode(nodes, mode)
             rows.append(row)
             table.add_row(
-                nodes, mode, row["messages"],
+                nodes, mode, row["messages"], row["frames"],
                 f"{row['updates_per_wall_s']:,.0f}",
                 f"{row['bytes_per_update']:,.0f}",
                 f"{row['wire_bytes'] / 1024.0:,.0f}",
@@ -197,6 +225,7 @@ def test_s3_information_plane(benchmark):
     for nodes in SCALING_NODES:
         full = _row(rows, nodes, "full")
         delta = _row(rows, nodes, "delta")
+        batch = _row(rows, nodes, "delta+batch")
         fast = _row(rows, nodes, "delta+fast")
         # Throttling must actually shed messages...
         assert delta["messages"] < full["messages"] / 2
@@ -204,6 +233,12 @@ def test_s3_information_plane(benchmark):
         assert delta["bytes_per_update"] < full["bytes_per_update"]
         # The fast path removes the wire entirely for co-located pairs.
         assert fast["wire_bytes"] == 0
+        # Oneway batching sends the same messages in far fewer frames
+        # and leaves the GRM's final node view bit-identical.
+        assert batch["messages"] == delta["messages"]
+        assert batch["view_digest"] == delta["view_digest"]
+        assert delta["frames"] == delta["messages"]
+        assert delta["frames"] / batch["frames"] >= 5.0
     full = _row(rows, 10_000, "full")
     delta = _row(rows, 10_000, "delta")
     fast = _row(rows, 10_000, "delta+fast")

@@ -17,6 +17,10 @@ what the PR's two opt-in features buy, at 64/256/1024 processes:
   one ORB call per send/put/get (seed); ``combining`` coalesces all
   messages per (sender, destination) pair into one CDR batch flushed at
   the barrier and batches DRMA per pair — O(messages) → O(peers) calls.
+  ``batched`` models the ORB's transport-level oneway batching instead:
+  logical calls stay per-message, but sends and puts queued for one
+  peer share a wire frame flushed at the barrier, so *frames* drop to
+  O(peers) while gets (request/reply) stay one frame each.
 
 Both modes run the identical deterministic workload (no RNG), so the
 delivered messages and the restored checkpoint bytes are asserted
@@ -133,10 +137,13 @@ def measure_checkpoint_plane(nprocs: int, rate: float, mode: str) -> dict:
     return row
 
 
-def drive_comm(nprocs: int, combining: bool) -> dict:
+def drive_comm(nprocs: int, combining: bool,
+               batch_oneway: bool = False) -> dict:
     """Run the comm workload; returns its row plus a delivery checksum."""
-    buffers = MessageBuffers(nprocs, combining=combining)
-    registers = Registers(nprocs, batched=combining)
+    buffers = MessageBuffers(nprocs, combining=combining,
+                             batch_oneway=batch_oneway)
+    registers = Registers(nprocs, batched=combining,
+                          batch_oneway=batch_oneway)
     for pid in range(nprocs):
         registers.register(pid, "acc", 0.0)
     checksum = 0
@@ -157,12 +164,21 @@ def drive_comm(nprocs: int, combining: bool) -> dict:
             checksum += len(buffers.inbox(pid))
             checksum += int(sum(m[0] for m in buffers.inbox(pid)))
     elapsed = time.perf_counter() - start
+    if combining:
+        mode = "combining"
+    elif batch_oneway:
+        mode = "batched"
+    else:
+        mode = "per-message"
     return {
         "nprocs": nprocs,
-        "mode": "combining" if combining else "per-message",
+        "mode": mode,
         "messages_sent": buffers.messages_sent,
         "orb_calls": buffers.orb_calls,
         "drma_calls": registers.drma_calls,
+        "bsmp_frames": buffers.frames,
+        "drma_frames": registers.frames,
+        "bytes_saved": buffers.bytes_saved,
         "wire_bytes": buffers.wire_bytes,
         "puts_applied": registers.puts_applied,
         "comm_wall_s": round(elapsed, 4),
@@ -188,17 +204,21 @@ def run_experiment():
                     f"{row['saves_per_wall_s']:,.0f}",
                 )
     comm_table = Table(
-        ["procs", "mode", "messages", "ORB calls", "DRMA calls", "KB on wire"],
+        ["procs", "mode", "messages", "ORB calls", "DRMA calls",
+         "BSMP frames", "KB on wire"],
         title="S4b: superstep comm calls per 12 supersteps",
     )
     comm_rows = []
     for nprocs in PROCESSES:
-        for combining in (False, True):
-            row = drive_comm(nprocs, combining)
+        for combining, batch_oneway in (
+            (False, False), (True, False), (False, True),
+        ):
+            row = drive_comm(nprocs, combining, batch_oneway=batch_oneway)
             comm_rows.append(row)
             comm_table.add_row(
                 nprocs, row["mode"], row["messages_sent"],
                 f"{row['orb_calls']:,}", f"{row['drma_calls']:,}",
+                f"{row['bsmp_frames']:,}",
                 f"{row['wire_bytes'] / 1024.0:,.0f}",
             )
     return ckpt_table, comm_table, ckpt_rows, comm_rows
@@ -254,10 +274,13 @@ def test_s4_execution_plane(benchmark):
     for nprocs in PROCESSES:
         seed = _comm_row(comm_rows, nprocs, "per-message")
         comb = _comm_row(comm_rows, nprocs, "combining")
-        # Identical delivery in both modes...
-        assert seed["checksum"] == comb["checksum"]
-        assert seed["messages_sent"] == comb["messages_sent"]
-        assert seed["puts_applied"] == comb["puts_applied"]
+        bat = _comm_row(comm_rows, nprocs, "batched")
+        # Identical delivery in all modes...
+        assert seed["checksum"] == comb["checksum"] == bat["checksum"]
+        assert seed["messages_sent"] == comb["messages_sent"] \
+            == bat["messages_sent"]
+        assert seed["puts_applied"] == comb["puts_applied"] \
+            == bat["puts_applied"]
         # ...but combining issues exactly one BSMP call per communicating
         # pair per superstep (O(peers)), and one DRMA call per direction
         # per pair, independent of per-pair message counts.
@@ -267,3 +290,14 @@ def test_s4_execution_plane(benchmark):
         assert seed["drma_calls"] == \
             SUPERSTEPS * nprocs * DEGREE * (PUTS_PER_PEER + GETS_PER_PEER)
         assert comb["wire_bytes"] < seed["wire_bytes"]
+        # Transport oneway batching keeps the seed's logical call counts
+        # but collapses wire frames: one BSMP frame per pair-superstep,
+        # one DRMA frame per put pair plus one per (unbatchable) get.
+        assert seed["bsmp_frames"] == seed["orb_calls"]
+        assert seed["drma_frames"] == seed["drma_calls"]
+        assert bat["orb_calls"] == seed["orb_calls"]
+        assert bat["drma_calls"] == seed["drma_calls"]
+        assert bat["bsmp_frames"] == SUPERSTEPS * nprocs * DEGREE
+        assert bat["drma_frames"] == \
+            SUPERSTEPS * nprocs * DEGREE * (1 + GETS_PER_PEER)
+        assert bat["bytes_saved"] > 0

@@ -3,17 +3,20 @@
 Remeasures the 32-node S1 simulator throughput, the 1000-offer indexed
 trader query rate, the 1024-node S2 pattern-aware ranking rate, the
 10k-node S3 information-plane run, the 1024-process S4
-execution-plane run, and the 256-cluster S5 wide-area run (reusing the
-benchmark modules' own builders, so the measured workload cannot drift
-from what produced the baseline), then compares against the committed
+execution-plane run, the 256-cluster S5 wide-area run, and the S6
+oneway-storm / CDR communication-plane run (reusing the benchmark
+modules' own builders, so the measured workload cannot drift from what
+produced the baseline), then compares against the committed
 ``BENCH_S1.json`` / ``BENCH_E11.json`` / ``BENCH_S2.json`` /
-``BENCH_S3.json`` / ``BENCH_S4.json`` / ``BENCH_S5.json``.  A drop of
-more than ``TOLERANCE`` fails the build; S3 and S4 additionally
-enforce absolute headline ratios (>= 5x plane cost and >= 3x bytes on
-the wire for S3; >= 3x checkpoint bytes down and exactly O(peers) ORB
-calls for S4), and S5 enforces >= 5x submit-path cost down, >= 3x
-uplink bytes down, and bit-identical placements between the seed
-scan and the indexed fast path.
+``BENCH_S3.json`` / ``BENCH_S4.json`` / ``BENCH_S5.json`` /
+``BENCH_S6.json``.  A drop of more than ``TOLERANCE`` fails the
+build; S3 and S4 additionally enforce absolute headline ratios (>= 5x
+plane cost and >= 3x bytes on the wire for S3; >= 3x checkpoint bytes
+down and exactly O(peers) ORB calls for S4), S5 enforces >= 5x
+submit-path cost down, >= 3x uplink bytes down, and bit-identical
+placements between the seed scan and the indexed fast path, and S6
+enforces >= 5x frame reduction with a bit-identical dispatch digest
+plus >= 2x zero-copy CDR decode throughput.
 
 The 30 % margin absorbs runner-to-runner noise; the regressions this
 guards against — losing an index, falling off a compiled path, an
@@ -45,6 +48,7 @@ from bench_s4_execution_plane import (  # noqa: E402
     measure_checkpoint_plane,
 )
 from bench_s5_wide_area import measure_wide_area  # noqa: E402
+from bench_s6_comm_plane import measure_cdr, measure_storm  # noqa: E402
 from bench_s2_scheduler_throughput import (  # noqa: E402
     _best_pass_s,
     build_workload,
@@ -275,6 +279,42 @@ def main():
         verdict = "ok" if ok else "REGRESSION"
         print(f"S5 placement equivalence (256 clusters): "
               f"seed==indexed digest and 0 oracle mismatches -> {verdict}")
+        failures += not ok
+
+    s6 = load_json("S6")
+    if s6 is None:
+        print("no BENCH_S6.json baseline committed; skipping S6 smoke")
+    else:
+        seed = measure_storm("per-call")
+        batched = measure_storm("batched")
+        baseline = next(
+            row["calls_per_wall_s"] for row in s6["storm_rows"]
+            if row["mode"] == "batched"
+        )
+        failures += not check(
+            "S6 batched oneway storm", batched["calls_per_wall_s"], baseline,
+        )
+        # Absolute headline gates: oneway batching must keep collapsing
+        # frames >= 5x while delivering the identical call stream, and
+        # the zero-copy decoder must stay >= 2x the seed decoder.
+        frames_ratio = seed["frames"] / batched["frames"]
+        ok = frames_ratio >= 5.0 and seed["digest"] == batched["digest"]
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"S6 frame reduction ({seed['calls']:,} oneways): "
+              f"{frames_ratio:.0f}x (floor 5.0x), digests "
+              f"{'equal' if seed['digest'] == batched['digest'] else 'DIFFER'}"
+              f" -> {verdict}")
+        failures += not ok
+        cdr = measure_cdr()
+        failures += not check(
+            "S6 zero-copy CDR decode",
+            cdr["decode_zero_copy_records_per_s"],
+            s6["cdr"]["decode_zero_copy_records_per_s"],
+        )
+        ok = cdr["decode_speedup"] >= 2.0
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"S6 zero-copy decode speedup (64 KiB chunk records): "
+              f"{cdr['decode_speedup']:.1f}x (floor 2.0x) -> {verdict}")
         failures += not ok
 
     plain_rate, metered_rate = measure_metrics_overhead()

@@ -101,6 +101,8 @@ class Grid:
         max_update_interval: Optional[float] = None,
         batched_ingest: bool = False,
         fast_local: bool = False,
+        batch_oneway: bool = False,
+        zero_copy_cdr: bool = False,
         chunked_checkpoints: bool = False,
         checkpoint_chunk_size: Optional[int] = None,
         checkpoint_rebase_every: Optional[int] = None,
@@ -136,6 +138,18 @@ class Grid:
         self.max_update_interval = max_update_interval
         self.batched_ingest = batched_ingest
         self.fast_local = fast_local
+        #: Communication-plane scaling knobs (off by default): coalesce
+        #: oneway requests into per-peer batch frames flushed at every
+        #: sim-event boundary, and decode/encode CDR without copies.
+        #: Delivery still happens at the same simulated instant as the
+        #: event that queued it, so component state is unchanged — only
+        #: the frame count drops from O(calls) to O(peer-flushes).
+        self.batch_oneway = batch_oneway
+        self.zero_copy_cdr = zero_copy_cdr
+        #: ORBs with a non-empty oneway queue, flushed after each event.
+        self._dirty_batch_orbs: set = set()
+        if batch_oneway:
+            self.loop.set_post_event_hook(self._flush_batched_orbs)
         #: Execution-plane scaling knobs (also off by default): chunked
         #: content-addressed checkpoint storage per cluster repository
         #: and digest-skip of unchanged per-node checkpoint saves.
@@ -199,13 +213,28 @@ class Grid:
             keyring=self._keyring,
             require_auth=self._keyring is not None,
             fast_local=self.fast_local,
+            batch_oneway=self.batch_oneway,
+            zero_copy_cdr=self.zero_copy_cdr,
         )
         self._orbs.append(orb)
+        if self.batch_oneway:
+            orb.set_batch_notifier(self._dirty_batch_orbs.add)
         if self.tracer is not None:
             orb.set_tracer(self.tracer)
         if self.metrics is not None:
             orb.to_metrics(self.metrics)
         return orb
+
+    def _flush_batched_orbs(self) -> None:
+        """Event-boundary flush: drain every ORB that queued oneways.
+
+        Flushing can enqueue more (a dispatched servant may itself make
+        oneway calls), re-dirtying ORBs — the loop runs until quiescent,
+        all within the same simulated instant.
+        """
+        dirty = self._dirty_batch_orbs
+        while dirty:
+            dirty.pop().flush()
 
     def _slowest_healthy_interval(self) -> float:
         """What the GRM should treat as one healthy update interval.
@@ -698,6 +727,16 @@ class Grid:
         self.metrics = registry
         self.loop.to_metrics(registry)
         registry.view("orb.totals", self.protocol_stats)
+        # Oneway-batching counters (all zero unless batch_oneway is on).
+        for view_name, attr in (
+            ("orb.batch.frames", "batch_frames"),
+            ("orb.batch.calls", "batch_calls"),
+            ("orb.batch.bytes_saved", "batch_bytes_saved"),
+        ):
+            registry.view(
+                view_name,
+                lambda a=attr: sum(getattr(o, a) for o in self._orbs),
+            )
         for orb in self._orbs:
             orb.to_metrics(registry)
         for handle in self.clusters.values():

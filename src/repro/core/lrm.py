@@ -220,6 +220,10 @@ class Lrm:
         return True
 
     def _send_update(self) -> None:
+        # send_update/send_delta are oneway: on a Grid built with
+        # batch_oneway=True the ORB queues them per peer and flushes at
+        # the sim-event boundary, so a cluster's worth of updates firing
+        # in the same interval rides O(LRMs) frames, not O(updates).
         if self._grm is None:
             return
         if self._delta is None:

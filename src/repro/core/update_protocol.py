@@ -19,6 +19,11 @@ makes both knobs cheap:
 The machine is deliberately free of any ORB or event-loop coupling:
 :class:`~repro.core.lrm.Lrm` drives one instance per node, and the S3
 benchmark drives tens of thousands without building full node stacks.
+The payloads it produces travel as oneway requests, so they compose
+with the ORB's transport-level oneway batching (``batch_oneway=True``):
+deltas shrink each message, throttling sheds messages, and batching
+collapses what remains into one frame per peer per event-boundary
+flush — three independent multipliers on the same wire.
 
 The ``"time"`` field is special: it changes every interval by
 definition, so it never *triggers* an update, but every payload carries

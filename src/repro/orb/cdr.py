@@ -17,6 +17,13 @@ variants, one per possible starting offset mod 8, with the inter-field
 padding baked into the format string as ``x`` bytes.  Plans are shared
 across message types through a cache keyed by the run's field signature.
 The wire format is bit-identical to the naive field-at-a-time encoder.
+
+Zero-copy decode: :class:`CdrDecoder` reads from ``bytes``/``bytearray``
+/``memoryview`` buffers alike; ``zero_copy=True`` additionally makes
+``read_octets`` return copy-free ``memoryview`` slices.  On the encode
+side, :func:`acquire_encoder`/:func:`release_encoder` pool encoders so
+hot paths reuse one bytearray allocation per message.  Neither changes
+a single wire byte.
 """
 
 import struct as _struct
@@ -42,6 +49,11 @@ class CdrEncoder:
 
     def __init__(self):
         self._buf = bytearray()
+
+    def reset(self) -> None:
+        """Empty the buffer so the encoder (and its allocation) can be
+        reused for another message; see :func:`acquire_encoder`."""
+        del self._buf[:]
 
     def align(self, boundary: int) -> None:
         remainder = len(self._buf) % boundary
@@ -105,9 +117,10 @@ class CdrEncoder:
     def write_octets(self, value: bytes) -> None:
         if not isinstance(value, (bytes, bytearray, memoryview)):
             raise MarshalError(f"expected bytes, got {type(value).__name__}")
-        data = bytes(value)
-        self.write_ulong(len(data))
-        self._buf.extend(data)
+        # bytearray.extend consumes bytes/bytearray/memoryview directly,
+        # so no intermediate copy is made for buffer-backed values.
+        self.write_ulong(len(value))
+        self._buf.extend(value)
 
     def getvalue(self) -> bytes:
         return bytes(self._buf)
@@ -116,12 +129,50 @@ class CdrEncoder:
         return len(self._buf)
 
 
-class CdrDecoder:
-    """Aligned binary reader matching :class:`CdrEncoder`."""
+# A small free-list of encoders so hot paths can reuse the underlying
+# bytearray allocation instead of building a fresh one per message.
+# list.append/list.pop are atomic under the GIL, so no lock is needed.
+# ``getvalue()`` copies, so a released encoder never aliases a payload.
+_ENCODER_POOL: list = []
+_ENCODER_POOL_MAX = 16
 
-    def __init__(self, data: bytes):
+
+def acquire_encoder() -> CdrEncoder:
+    """A cleared :class:`CdrEncoder`, reusing a pooled one when available."""
+    try:
+        enc = _ENCODER_POOL.pop()
+    except IndexError:
+        return CdrEncoder()
+    enc.reset()
+    return enc
+
+
+def release_encoder(enc: CdrEncoder) -> None:
+    """Return an encoder to the pool (dropped when the pool is full)."""
+    if len(_ENCODER_POOL) < _ENCODER_POOL_MAX:
+        _ENCODER_POOL.append(enc)
+
+
+class CdrDecoder:
+    """Aligned binary reader matching :class:`CdrEncoder`.
+
+    Accepts ``bytes``, ``bytearray``, or ``memoryview`` buffers; every
+    primitive reads straight out of the buffer with ``unpack_from``.
+    With ``zero_copy=True`` the buffer is wrapped in a ``memoryview``
+    once and :meth:`read_octets` returns copy-free slices of it (the
+    caller must not outlive or mutate the backing buffer); string
+    decoding also goes through the view, so the slice before UTF-8
+    decoding never materialises an intermediate ``bytes``.  Decoded
+    *values* are identical either way except for the octet slices'
+    type (``memoryview`` instead of ``bytes``, equal by content).
+    """
+
+    def __init__(self, data, zero_copy: bool = False):
+        if zero_copy and not isinstance(data, memoryview):
+            data = memoryview(data)
         self._data = data
         self._pos = 0
+        self._zero_copy = zero_copy
 
     def align(self, boundary: int) -> None:
         remainder = self._pos % boundary
@@ -188,7 +239,9 @@ class CdrDecoder:
         if data[end - 1] != 0:
             raise MarshalError("string is not NUL-terminated")
         self._pos = end
-        return data[pos:end - 1].decode("utf-8")
+        # str(buf, "utf-8") decodes bytes and memoryview slices alike;
+        # on a memoryview the slice itself is copy-free.
+        return str(data[pos:end - 1], "utf-8")
 
     def read_octets(self) -> bytes:
         length = self.read_ulong()
@@ -197,6 +250,8 @@ class CdrDecoder:
             raise MarshalError("buffer underrun reading octet sequence")
         raw = self._data[self._pos:end]
         self._pos = end
+        if self._zero_copy:
+            return raw
         return bytes(raw)
 
     @property
@@ -623,7 +678,7 @@ class Variant(IdlType):
         elif isinstance(value, str):
             enc.write_octet(self._STRING)
             enc.write_string(value)
-        elif isinstance(value, (bytes, bytearray)):
+        elif isinstance(value, (bytes, bytearray, memoryview)):
             enc.write_octet(self._BYTES)
             enc.write_octets(bytes(value))
         elif isinstance(value, (list, tuple)):

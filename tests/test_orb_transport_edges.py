@@ -1,0 +1,242 @@
+"""Edge-case tests for the TCP transport.
+
+Malformed wire input (empty frames, oversized frames, connections cut
+mid-frame) must never kill a serving thread or poison other callers,
+frame-size limits are enforced in both directions, concurrent invokes
+are safe on both framings, and connection bookkeeping must not leak.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.orb.cdr import CdrDecoder, CdrEncoder, String
+from repro.orb.core import Orb
+from repro.orb.exceptions import CommunicationError
+from repro.orb.idl import InterfaceDef, Operation, Parameter
+from repro.orb.transport import (
+    MAX_FRAME_BYTES,
+    InProcDomain,
+    _send_frame,
+)
+
+ECHO_INTERFACE = InterfaceDef("test/Echo", [
+    Operation("echo", (Parameter("text", String),), returns=String),
+])
+
+
+class Echo:
+    def echo(self, text):
+        return text
+
+
+def make_server(pipelined=False):
+    orb = Orb("edge-server", domain=InProcDomain(), tcp=True,
+              tcp_pipelined=pipelined)
+    ref = orb.activate(Echo(), ECHO_INTERFACE, key="test/echo")
+    return orb, ref
+
+
+def make_client(pipelined=False):
+    return Orb("edge-client", domain=InProcDomain(), tcp=True,
+               tcp_pipelined=pipelined)
+
+
+def raw_connect(orb):
+    transport = orb._tcp
+    return socket.create_connection((transport.host, transport.port),
+                                    timeout=5)
+
+
+def legacy_request_frame(key, operation, text):
+    """A hand-built legacy frame (flag byte 1 = reply expected)."""
+    enc = CdrEncoder()
+    enc.write_string(key)
+    enc.write_string(operation)
+    enc.write_string(text)
+    payload = b"\x01" + enc.getvalue()
+    return struct.pack(">I", len(payload)) + payload
+
+
+def recv_reply(sock):
+    header = sock.recv(4)
+    (length,) = struct.unpack(">I", header)
+    data = b""
+    while len(data) < length:
+        chunk = sock.recv(length - len(data))
+        assert chunk, "server closed mid-reply"
+        data += chunk
+    dec = CdrDecoder(data)
+    assert dec.read_octet() == 0   # status ok
+    return dec.read_string()
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestMalformedFrames:
+    def test_empty_frame_is_dropped_and_connection_keeps_serving(self):
+        server, _ = make_server()
+        try:
+            with raw_connect(server) as sock:
+                sock.sendall(struct.pack(">I", 0))   # zero-length frame
+                sock.sendall(legacy_request_frame("test/echo", "echo", "hi"))
+                assert recv_reply(sock) == "hi"
+            assert server._tcp.frames_rejected == 1
+        finally:
+            server.shutdown()
+
+    def test_oversized_inbound_frame_drops_the_connection(self):
+        server, _ = make_server()
+        try:
+            with raw_connect(server) as sock:
+                # A header claiming more than MAX_FRAME_BYTES must kill
+                # the connection before any allocation happens.
+                sock.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+                sock.settimeout(5)
+                assert sock.recv(1) == b""   # server closed it
+            # The transport itself survives: a well-formed connection
+            # right after still gets served.
+            with raw_connect(server) as sock:
+                sock.sendall(legacy_request_frame("test/echo", "echo", "ok"))
+                assert recv_reply(sock) == "ok"
+        finally:
+            server.shutdown()
+
+    def test_oversized_outbound_frame_fails_fast(self, monkeypatch):
+        import repro.orb.transport as transport_mod
+
+        monkeypatch.setattr(transport_mod, "MAX_FRAME_BYTES", 64)
+        with pytest.raises(CommunicationError):
+            # Rejected before the socket is touched (hence None works).
+            _send_frame(None, b"x" * 65)
+
+    def test_peer_close_mid_frame_does_not_kill_the_server(self):
+        server, ref = make_server()
+        client = make_client()
+        try:
+            with raw_connect(server) as sock:
+                sock.sendall(struct.pack(">I", 100) + b"only ten b")
+            # The half-written connection is gone; a real client on a
+            # fresh connection is unaffected.
+            stub = client.stub(ref, ECHO_INTERFACE)
+            assert stub.echo("still alive") == "still alive"
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_empty_frame_on_pipelined_connection_is_dropped(self):
+        server, ref = make_server(pipelined=True)
+        client = make_client(pipelined=True)
+        try:
+            stub = client.stub(ref, ECHO_INTERFACE)
+            assert stub.echo("negotiate") == "negotiate"   # upgrade first
+            conn = next(iter(client._tcp._pipelined_conns.values()))
+            with conn.send_lock:
+                conn.sock.sendall(struct.pack(">I", 0))
+            assert wait_for(lambda: server._tcp.frames_rejected == 1)
+            assert stub.echo("after") == "after"
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+
+class TestConcurrentInvokes:
+    @pytest.mark.parametrize("pipelined", [False, True])
+    def test_threaded_echo_storm(self, pipelined):
+        server, ref = make_server(pipelined=pipelined)
+        client = make_client(pipelined=pipelined)
+        errors = []
+
+        def worker(tid):
+            try:
+                stub = client.stub(ref, ECHO_INTERFACE)
+                for i in range(25):
+                    text = f"t{tid}-{i}"
+                    if stub.echo(text) != text:
+                        raise AssertionError("echo mismatch")
+            except Exception as exc:
+                errors.append(exc)
+
+        try:
+            threads = [threading.Thread(target=worker, args=(tid,))
+                       for tid in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            assert server.requests_handled >= 8 * 25
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+
+class TestConnectionBookkeeping:
+    def test_server_prunes_closed_connections(self):
+        server, ref = make_server()
+        client = make_client()
+        try:
+            stub = client.stub(ref, ECHO_INTERFACE)
+            assert stub.echo("x") == "x"
+            assert wait_for(lambda: len(server._tcp._server_conns) == 1)
+        finally:
+            client.shutdown()
+        try:
+            # Closing the client must drain the server's connection list,
+            # not leave a dead socket behind for the transport's lifetime.
+            assert wait_for(lambda: len(server._tcp._server_conns) == 0)
+        finally:
+            server.shutdown()
+
+    def test_dropping_a_connection_drops_its_lock(self):
+        server, ref = make_server()
+        client = make_client()
+        try:
+            stub = client.stub(ref, ECHO_INTERFACE)
+            assert stub.echo("x") == "x"
+            transport = client._tcp
+            address = server._tcp.address
+            assert address in transport._conn_locks
+            transport._drop_connection(address)
+            assert address not in transport._conn_locks
+            assert address not in transport._client_socks
+            # And the client recovers by reconnecting transparently.
+            assert stub.echo("y") == "y"
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+
+class TestFramingInterop:
+    def test_pipelined_client_against_legacy_server(self):
+        server, ref = make_server(pipelined=False)
+        client = make_client(pipelined=True)
+        try:
+            stub = client.stub(ref, ECHO_INTERFACE)
+            assert stub.echo("mixed") == "mixed"
+            # The failed probe is remembered: this peer speaks legacy.
+            assert server._tcp.address in client._tcp._legacy_addrs
+            assert client._tcp._pipelined_conns == {}
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_legacy_client_against_pipelined_server(self):
+        server, ref = make_server(pipelined=True)
+        client = make_client(pipelined=False)
+        try:
+            stub = client.stub(ref, ECHO_INTERFACE)
+            assert stub.echo("mixed") == "mixed"
+        finally:
+            client.shutdown()
+            server.shutdown()
